@@ -1,0 +1,72 @@
+"""Shared scenario builders for the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.core.planner import PrivacyParameters, QuerySpec, ResiliencyParameters
+from repro.data.health import HEALTH_SCHEMA, generate_health_rows
+from repro.manager.scenario import Scenario, ScenarioConfig
+from repro.query.sql import parse_query
+
+__all__ = [
+    "DEMO_SQL",
+    "aggregate_spec",
+    "fast_scenario_config",
+    "run_once",
+]
+
+#: The demo's Grouping Sets query (Section 3.2, Part 1, query (i)).
+DEMO_SQL = (
+    "SELECT count(*), avg(age), avg(bmi) FROM health "
+    "WHERE age > 65 "
+    "GROUP BY GROUPING SETS ((region), (sex), ())"
+)
+
+
+def aggregate_spec(query_id: str, cardinality: int, sql: str = DEMO_SQL) -> QuerySpec:
+    """Build the demo aggregate QuerySpec."""
+    return QuerySpec(
+        query_id=query_id,
+        kind="aggregate",
+        snapshot_cardinality=cardinality,
+        group_by=parse_query(sql).query,
+    )
+
+
+def fast_scenario_config(
+    n_contributors: int,
+    n_rows: int,
+    seed: int = 0,
+    **overrides,
+) -> ScenarioConfig:
+    """A PC-only scenario tuned for benchmark wall-clock."""
+    defaults = dict(
+        n_contributors=n_contributors,
+        n_processors=max(20, n_contributors // 10),
+        rows=generate_health_rows(n_rows, seed=seed),
+        schema=HEALTH_SCHEMA,
+        device_mix=(1.0, 0.0, 0.0),
+        collection_window=20.0,
+        deadline=70.0,
+        secure_channels=False,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def run_once(
+    config: ScenarioConfig,
+    spec: QuerySpec,
+    max_raw: int = 50,
+    fault_rate: float = 0.1,
+    target_success: float = 0.99,
+):
+    """Build a scenario and execute one query; returns the result."""
+    scenario = Scenario(config)
+    return scenario.run_query(
+        spec,
+        privacy=PrivacyParameters(max_raw_per_edgelet=max_raw),
+        resiliency=ResiliencyParameters(
+            fault_rate=fault_rate, target_success=target_success
+        ),
+    )

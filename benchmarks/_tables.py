@@ -1,0 +1,33 @@
+"""Shared table rendering for the benchmark harness.
+
+Every benchmark prints the series/rows of the figure or demonstration
+measurement it reproduces, in addition to timing the core operation with
+pytest-benchmark.  Run with ``pytest benchmarks/ --benchmark-only -s``
+to see the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["print_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> None:
+    """Print one experiment table with aligned columns."""
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered)) if rendered else len(header)
+        for i, header in enumerate(headers)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    print("  ".join("-" * width for width in widths))
+    for row in rendered:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))

@@ -1,0 +1,97 @@
+"""Q-ACC — §3.3: "effects on the results accuracy with respect to the
+number of heartbeats".
+
+Runs the distributed K-Means of Section 2.2 while varying (a) the
+number of heartbeats before the deadline and (b) the disconnection
+probability, and reports the accuracy (relative inertia gap vs the
+centralized K-Means oracle).  Expected shape: accuracy improves with
+heartbeats and degrades gracefully with disconnections.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _scenarios import fast_scenario_config
+from _tables import print_table
+
+from repro.core.planner import PrivacyParameters, QuerySpec, ResiliencyParameters
+from repro.data.health import health_feature_matrix
+from repro.manager.scenario import Scenario
+from repro.ml.kmeans import kmeans
+from repro.ml.metrics import relative_inertia_gap
+
+FEATURES = ("bmi", "systolic_bp", "glucose")
+
+
+def _run(heartbeats: int, disconnect_probability: float, seed: int = 0):
+    config = fast_scenario_config(
+        n_contributors=120, n_rows=240, seed=seed,
+        disconnect_probability=disconnect_probability,
+        disconnect_duration=12.0,
+        deadline=80.0,
+    )
+    scenario = Scenario(config)
+    spec = QuerySpec(
+        query_id=f"qacc-{heartbeats}-{disconnect_probability}-{seed}",
+        kind="kmeans", snapshot_cardinality=200, kmeans_k=3,
+        feature_columns=FEATURES, heartbeats=heartbeats,
+    )
+    result = scenario.run_query(
+        spec,
+        privacy=PrivacyParameters(max_raw_per_edgelet=50),
+        resiliency=ResiliencyParameters(fault_rate=0.2),
+    )
+    if not result.report.success or result.report.kmeans is None:
+        return None
+    points = health_feature_matrix(config.rows)
+    reference = kmeans(points, 3, seed=1)
+    return relative_inertia_gap(
+        points, result.report.kmeans.centroids, reference.centroids
+    )
+
+
+def _mean_gap(heartbeats: int, disconnect: float, runs: int = 3):
+    gaps = [
+        gap
+        for gap in (_run(heartbeats, disconnect, seed=s) for s in range(runs))
+        if gap is not None
+    ]
+    return sum(gaps) / len(gaps) if gaps else float("inf")
+
+
+def test_qacc_accuracy_vs_heartbeats(benchmark):
+    """More heartbeats -> better accuracy (lower inertia gap)."""
+    rows = []
+    for heartbeats in (1, 2, 4, 8):
+        gap = _mean_gap(heartbeats, disconnect=0.0)
+        rows.append([heartbeats, f"{gap:.4f}"])
+    print_table(
+        "Q-ACC: K-Means accuracy vs heartbeat count [no disconnections]",
+        ["heartbeats", "relative inertia gap vs centralized"],
+        rows,
+    )
+    first, last = float(rows[0][1]), float(rows[-1][1])
+    assert last <= first + 0.02  # never substantially worse with more beats
+    assert last < 0.25
+
+    benchmark.pedantic(lambda: _run(2, 0.0), rounds=2, iterations=1)
+
+
+def test_qacc_accuracy_vs_disconnections(benchmark):
+    """Disconnections degrade accuracy gracefully, never fatally."""
+    rows = []
+    for disconnect in (0.0, 0.01, 0.03):
+        gap = _mean_gap(4, disconnect)
+        rows.append([disconnect, f"{gap:.4f}"])
+    print_table(
+        "Q-ACC: K-Means accuracy vs disconnection probability [4 heartbeats]",
+        ["disconnect prob/tick", "relative inertia gap vs centralized"],
+        rows,
+    )
+    assert all(float(row[1]) < 1.0 for row in rows)  # graceful, not fatal
+
+    benchmark.pedantic(lambda: _run(4, 0.02), rounds=2, iterations=1)

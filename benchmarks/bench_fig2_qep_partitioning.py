@@ -1,0 +1,97 @@
+"""FIG2 — Figure 2: vertically and horizontally partitioned QEP.
+
+Reproduces the structural content of Figure 2: contributors hashed to
+Snapshot Builders (horizontal partitioning) and one Computer per
+statistic (vertical partitioning), with a Computing Combiner merging
+them.  The table reports plan shape (operator counts, fan-in) as the
+partitioning parameters vary.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _tables import print_table
+
+from repro.core.planner import EdgeletPlanner, PrivacyParameters, ResiliencyParameters
+from repro.core.qep import OperatorRole
+from repro.query.sql import parse_query
+
+SQL = (
+    "SELECT count(*), avg(age), avg(bmi) FROM health WHERE age > 65 "
+    "GROUP BY GROUPING SETS ((region), ())"
+)
+
+
+def _plan(max_raw: int, separate_age_bmi: bool, fault_rate: float = 0.05):
+    from repro.core.planner import QuerySpec
+
+    separated = (("age", "bmi"),) if separate_age_bmi else ()
+    planner = EdgeletPlanner(
+        privacy=PrivacyParameters(
+            max_raw_per_edgelet=max_raw, separated_pairs=separated
+        ),
+        resiliency=ResiliencyParameters(fault_rate=fault_rate),
+    )
+    spec = QuerySpec(
+        query_id="fig2", kind="aggregate", snapshot_cardinality=2000,
+        group_by=parse_query(SQL).query,
+    )
+    return planner.plan(spec, n_contributors=100)
+
+
+def test_fig2_plan_shapes(benchmark):
+    """Plan shape as the two partitioning knobs vary."""
+    rows = []
+    for max_raw in (2000, 500, 200):
+        for separate in (False, True):
+            plan = _plan(max_raw, separate)
+            meta = plan.metadata["overcollection"]
+            builders = plan.operators(OperatorRole.SNAPSHOT_BUILDER)
+            computers = plan.operators(OperatorRole.COMPUTER)
+            combiner_fan_in = plan.fan_in("combiner")
+            rows.append(
+                [
+                    max_raw,
+                    "yes" if separate else "no",
+                    meta["n"],
+                    meta["m"],
+                    len(builders),
+                    len(computers),
+                    len(plan.metadata["column_groups"]),
+                    combiner_fan_in,
+                    plan.depth(),
+                ]
+            )
+    print_table(
+        "FIG2: QEP shape vs horizontal (max raw/edgelet) and vertical "
+        "(separate age,bmi) partitioning  [C=2000, p=0.05]",
+        ["max_raw", "v-split", "n", "m", "builders", "computers",
+         "col groups", "combiner fan-in", "depth"],
+        rows,
+    )
+    # the shape claims of Figure 2
+    base = _plan(2000, False)
+    split = _plan(200, True)
+    assert len(split.operators(OperatorRole.SNAPSHOT_BUILDER)) > len(
+        base.operators(OperatorRole.SNAPSHOT_BUILDER)
+    )
+    assert len(split.metadata["column_groups"]) == 2
+
+    benchmark(lambda: _plan(200, True))
+
+
+def test_fig2_contributor_routing_balance(benchmark):
+    """Hash routing spreads contributors evenly over builders."""
+    plan = _plan(200, False)
+    builders = plan.operators(OperatorRole.SNAPSHOT_BUILDER)
+    loads = {b.op_id: plan.fan_in(b.op_id) for b in builders}
+    rows = [[op_id, load] for op_id, load in sorted(loads.items())]
+    print_table("FIG2: contributors per Snapshot Builder (100 contributors)",
+                ["builder", "contributors"], rows)
+    assert min(loads.values()) > 0
+
+    benchmark(lambda: _plan(200, False))

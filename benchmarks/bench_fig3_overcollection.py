@@ -1,0 +1,109 @@
+"""FIG3 — Figure 3: Overcollection applied to the Figure-2 QEP.
+
+Reproduces the Overcollection expansion: the operators of Figure 2 are
+distributed over n+m edgelets, an Active Backup mirrors the Computing
+Combiner, and validity holds as long as at most m partitions are lost.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _tables import print_table
+
+from repro.core.overcollection import OvercollectionConfig, PartitionTally
+from repro.core.planner import (
+    EdgeletPlanner,
+    PrivacyParameters,
+    QuerySpec,
+    ResiliencyParameters,
+)
+from repro.core.qep import OperatorRole
+from repro.query.sql import parse_query
+
+SQL = "SELECT count(*), avg(age) FROM health GROUP BY GROUPING SETS ((region), ())"
+
+
+def _plan(fault_rate: float):
+    planner = EdgeletPlanner(
+        privacy=PrivacyParameters(max_raw_per_edgelet=500),
+        resiliency=ResiliencyParameters(fault_rate=fault_rate, target_success=0.99),
+    )
+    spec = QuerySpec(
+        query_id="fig3", kind="aggregate", snapshot_cardinality=2000,
+        group_by=parse_query(SQL).query,
+    )
+    return planner.plan(spec, n_contributors=50)
+
+
+def test_fig3_overcollection_expansion(benchmark):
+    """The n+m expansion and the Active Backup of Figure 3."""
+    rows = []
+    for fault_rate in (0.0, 0.05, 0.1, 0.2, 0.3):
+        plan = _plan(fault_rate)
+        meta = plan.metadata["overcollection"]
+        rows.append(
+            [
+                fault_rate,
+                meta["n"],
+                meta["m"],
+                len(plan.operators(OperatorRole.SNAPSHOT_BUILDER)),
+                len(plan.operators(OperatorRole.COMPUTER)),
+                len(plan.operators(OperatorRole.ACTIVE_BACKUP)),
+                meta["snapshot_cardinality"] // meta["n"],
+            ]
+        )
+    print_table(
+        "FIG3: Overcollection expansion of the Fig.2 QEP [C=2000, n=4]",
+        ["fault rate", "n", "m", "builders (n+m)", "computers",
+         "active backups", "C/n per partition"],
+        rows,
+    )
+    plan = _plan(0.2)
+    assert len(plan.operators(OperatorRole.ACTIVE_BACKUP)) == 1
+    meta = plan.metadata["overcollection"]
+    assert len(plan.operators(OperatorRole.SNAPSHOT_BUILDER)) == meta["n"] + meta["m"]
+
+    benchmark(lambda: _plan(0.2))
+
+
+def test_fig3_validity_boundary(benchmark):
+    """Validity holds iff at most m partitions are lost."""
+    config = OvercollectionConfig(n=4, m=3, snapshot_cardinality=2000)
+    rows = []
+    for lost in range(0, config.total_partitions + 1):
+        tally = PartitionTally(config)
+        for index in range(config.total_partitions - lost):
+            tally.record(index)
+        rows.append(
+            [
+                lost,
+                tally.received_count,
+                "yes" if tally.is_valid() else "no",
+                tally.scaling_factor() if tally.received_count else float("nan"),
+            ]
+        )
+    print_table(
+        "FIG3: validity vs lost partitions [n=4, m=3]",
+        ["lost", "received", "valid", "count scaling factor"],
+        rows,
+    )
+    boundary = PartitionTally(config)
+    for index in range(config.n):
+        boundary.record(index)
+    assert boundary.is_valid()
+    over = PartitionTally(config)
+    for index in range(config.n - 1):
+        over.record(index)
+    assert not over.is_valid()
+
+    def tally_run():
+        tally = PartitionTally(config)
+        for index in range(config.total_partitions):
+            tally.record(index)
+        return tally.summary()
+
+    benchmark(tally_run)

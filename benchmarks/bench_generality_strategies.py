@@ -1,0 +1,235 @@
+"""Q-GEN — §3.3 "Can any form of computation be handled?"
+
+Demonstrates the generality claims:
+
+* both demo query classes complete on the same substrate — a Grouping
+  Sets SQL query and a K-Means clustering;
+* Overcollection applies to distributive processing; for the rest the
+  Backup strategy works "at the price of a higher complexity and lower
+  performance" — measured here as plan size, messages, and worst-case
+  latency of sequential takeovers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _scenarios import aggregate_spec, fast_scenario_config
+from _tables import print_table
+
+from repro.core.backup import BackupConfig
+from repro.core.planner import (
+    EdgeletPlanner,
+    PrivacyParameters,
+    QuerySpec,
+    ResiliencyParameters,
+)
+from repro.manager.scenario import Scenario
+from repro.query.sql import parse_query
+
+
+def test_qgen_both_query_classes_complete(benchmark):
+    """Grouping Sets and K-Means run on the same swarm."""
+    config = fast_scenario_config(n_contributors=100, n_rows=200, seed=21,
+                                  deadline=80.0)
+    scenario = Scenario(config)
+    sql_spec = aggregate_spec("qgen-sql", cardinality=150)
+    sql_result = scenario.run_query(
+        sql_spec, privacy=PrivacyParameters(max_raw_per_edgelet=50)
+    )
+    kmeans_spec = QuerySpec(
+        query_id="qgen-kmeans", kind="kmeans", snapshot_cardinality=150,
+        kmeans_k=3, feature_columns=("bmi", "systolic_bp", "glucose"),
+        heartbeats=4,
+    )
+    kmeans_result = scenario.run_query(
+        kmeans_spec, privacy=PrivacyParameters(max_raw_per_edgelet=50)
+    )
+    print_table(
+        "Q-GEN: generality — both demo queries on one swarm",
+        ["query", "success", "result size"],
+        [
+            ["Grouping Sets (SQL)", sql_result.report.success,
+             len(sql_result.report.result.all_rows())],
+            ["K-Means (k=3)", kmeans_result.report.success,
+             kmeans_result.report.kmeans.centroids.shape if
+             kmeans_result.report.kmeans is not None else "-"],
+        ],
+    )
+    assert sql_result.report.success and kmeans_result.report.success
+
+    def run():
+        cfg = fast_scenario_config(n_contributors=40, n_rows=80, seed=22)
+        sc = Scenario(cfg)
+        return sc.run_query(aggregate_spec("qgen-bench", 60))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_qgen_overcollection_vs_backup_cost(benchmark):
+    """Strategy taxonomy: Backup costs more (operators, latency)."""
+    spec_sql = (
+        "SELECT count(*), avg(age) FROM health GROUP BY GROUPING SETS ((region), ())"
+    )
+    spec = QuerySpec(
+        query_id="qgen-compare", kind="aggregate", snapshot_cardinality=400,
+        group_by=parse_query(spec_sql).query,
+    )
+    over_planner = EdgeletPlanner(
+        privacy=PrivacyParameters(max_raw_per_edgelet=100),
+        resiliency=ResiliencyParameters(fault_rate=0.2, strategy="overcollection"),
+    )
+    backup_planner = EdgeletPlanner(
+        privacy=PrivacyParameters(max_raw_per_edgelet=100),
+        resiliency=ResiliencyParameters(
+            fault_rate=0.2, strategy="backup", backup_replicas=2
+        ),
+    )
+    over_plan = over_planner.plan(spec, n_contributors=50)
+    backup_plan = backup_planner.plan(spec, n_contributors=50)
+
+    over_processors = sum(
+        1 for op in over_plan.operators() if op.role.is_data_processor
+    )
+    backup_processors = sum(
+        1 for op in backup_plan.operators() if op.role.is_data_processor
+    )
+    backup_config = BackupConfig(replicas=2, takeover_timeout=30.0)
+    print_table(
+        "Q-GEN: Overcollection vs Backup cost [n=4, p=0.2]",
+        ["strategy", "data processors", "edges", "worst extra latency (s)",
+         "applies to"],
+        [
+            ["overcollection", over_processors, len(over_plan.edges()), 0.0,
+             "distributive ops"],
+            ["backup (2 replicas)", backup_processors, len(backup_plan.edges()),
+             backup_config.worst_case_delay(), "any op"],
+        ],
+    )
+    # per-partition redundancy: backup replicates operators, edges blow up
+    assert len(backup_plan.edges()) > len(over_plan.edges())
+
+    benchmark(lambda: backup_planner.plan(spec, n_contributors=50))
+
+
+def test_qgen_backup_takeover_chain(benchmark):
+    """The Backup chain recovers from cascading primary failures."""
+    from repro.core.backup import BackupChain
+
+    rows = []
+    for failures in (0, 1, 2):
+        chain = BackupChain("computer[0]", BackupConfig(replicas=2, takeover_timeout=15.0))
+        for rank in range(3):
+            chain.register(rank, f"device-{rank}")
+        chain.checkpoint({"partition": "sealed"})
+        for f in range(failures):
+            chain.report_failure(time=15.0 * (f + 1))
+        rows.append(
+            [failures, chain.active_device or "EXHAUSTED",
+             chain.promotion_count() * 15.0]
+        )
+    print_table(
+        "Q-GEN: Backup takeover chain [2 replicas, 15s timeout]",
+        ["primary failures", "active device", "added latency (s)"],
+        rows,
+    )
+    assert rows[2][1] == "device-2"
+
+    def takeovers():
+        chain = BackupChain("op", BackupConfig(replicas=5, takeover_timeout=1.0))
+        for rank in range(6):
+            chain.register(rank, f"d{rank}")
+        chain.checkpoint("state")
+        while chain.report_failure(time=1.0):
+            pass
+        return chain.promotion_count()
+
+    benchmark(takeovers)
+
+
+def _run_backup_execution(kill_primary: bool, seed: int = 3):
+    """One BackupExecutor run; returns (success, takeovers, last freeze t)."""
+    from repro.core.assignment import assign_operators
+    from repro.core.backup_execution import BackupExecutor
+    from repro.core.qep import OperatorRole
+    from repro.data.health import generate_health_rows
+    from repro.devices.edgelet import Edgelet
+    from repro.devices.profiles import PC_SGX
+    from repro.network.opnet import NetworkConfig, OpportunisticNetwork
+    from repro.network.simulator import Simulator
+    from repro.network.topology import ContactGraph, LinkQuality
+    from repro.query.aggregates import AggregateSpec
+    from repro.query.groupby import GroupByQuery
+
+    simulator = Simulator()
+    quality = LinkQuality(base_latency=0.05, latency_jitter=0.0, loss_probability=0.0)
+    topology = ContactGraph(default_quality=quality)
+    network = OpportunisticNetwork(
+        simulator, topology,
+        NetworkConfig(allow_relay=False, buffer_timeout=300.0, default_quality=quality),
+        seed=seed,
+    )
+    rows = generate_health_rows(40, seed=seed)
+    contributors = []
+    for i in range(20):
+        device = Edgelet(PC_SGX, device_id=f"qg{seed}{kill_primary}-c{i:02d}",
+                         seed=f"qg{seed}{kill_primary}c{i}".encode())
+        device.datastore.insert_many(rows[2 * i: 2 * i + 2])
+        contributors.append(device)
+    processors = [
+        Edgelet(PC_SGX, device_id=f"qg{seed}{kill_primary}-p{i:02d}",
+                seed=f"qg{seed}{kill_primary}p{i}".encode())
+        for i in range(25)
+    ]
+    querier = Edgelet(PC_SGX, device_id=f"qg{seed}{kill_primary}-q",
+                      seed=f"qg{seed}{kill_primary}q".encode())
+    devices = {d.device_id: d for d in [*contributors, *processors, querier]}
+    for device_id in devices:
+        topology.add_device(device_id)
+
+    query = GroupByQuery(grouping_sets=((),), aggregates=(AggregateSpec("count"),))
+    spec = QuerySpec(
+        query_id=f"qgen-runtime-{kill_primary}-{seed}", kind="aggregate",
+        snapshot_cardinality=2 * len(rows), group_by=query,
+    )
+    planner = EdgeletPlanner(
+        privacy=PrivacyParameters(max_raw_per_edgelet=len(rows) + 1),
+        resiliency=ResiliencyParameters(strategy="backup", backup_replicas=1),
+    )
+    plan = planner.plan(spec, contributor_ids=[d.device_id for d in contributors])
+    assign_operators(plan, [p.device_id for p in processors], exclusive=False)
+    plan.operators(OperatorRole.QUERIER)[0].assigned_to = querier.device_id
+    executor = BackupExecutor(
+        simulator, network, devices, plan,
+        collection_window=15.0, deadline=80.0, secure_channels=False,
+        takeover_timeout=10.0,
+    )
+    if kill_primary:
+        victim = plan.operator("builder[0]").assigned_to
+        simulator.schedule(1.0, lambda: network.kill(victim))
+    report = executor.run()
+    freeze_times = [t for t, m in report.trace if "snapshot frozen" in m]
+    return report.success, len(executor.takeover_log), max(freeze_times, default=0.0)
+
+
+def test_qgen_backup_runtime_takeover_latency(benchmark):
+    """Measured: a takeover delays the snapshot by the timeout, and the
+    query still completes (the 'lower performance' of the taxonomy)."""
+    ok_clean, takeovers_clean, freeze_clean = _run_backup_execution(False)
+    ok_kill, takeovers_kill, freeze_kill = _run_backup_execution(True)
+    print_table(
+        "Q-GEN: Backup executor runtime takeover [timeout 10s]",
+        ["scenario", "success", "takeovers", "last snapshot freeze (t)"],
+        [
+            ["no failure", ok_clean, takeovers_clean, f"{freeze_clean:.1f}"],
+            ["primary killed", ok_kill, takeovers_kill, f"{freeze_kill:.1f}"],
+        ],
+    )
+    assert ok_clean and ok_kill
+    assert takeovers_clean == 0 and takeovers_kill >= 1
+    assert freeze_kill >= freeze_clean + 10.0 - 1.0
+
+    benchmark.pedantic(lambda: _run_backup_execution(True), rounds=2, iterations=1)

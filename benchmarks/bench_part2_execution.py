@@ -1,0 +1,106 @@
+"""FIG4/P2 — Demonstration Part 2: execution of an Edgelet computation.
+
+Runs the full three-phase execution (collection with thousands of
+simulated contributors, computation, combination) on a heterogeneous
+swarm, prints the step timeline the demo GUI visualizes, and performs
+the centralized verification.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _scenarios import aggregate_spec, fast_scenario_config, run_once
+from _tables import print_table
+
+from repro.data.health import HEALTH_SCHEMA
+from repro.manager.trace import phase_timeline
+from repro.manager.verification import verify_against_centralized
+from repro.query.relation import Relation
+
+
+def test_part2_three_phase_execution(benchmark):
+    """Collection -> computation -> combination, with verification."""
+    config = fast_scenario_config(
+        n_contributors=1000, n_rows=2000, seed=3,
+        device_mix=(0.5, 0.3, 0.2),  # heterogeneous like the demo table
+        deadline=90.0,
+    )
+    spec = aggregate_spec("part2", cardinality=1500)
+    result = run_once(config, spec, max_raw=300, fault_rate=0.15)
+    report = result.report
+    timeline = phase_timeline(report)
+    print_table(
+        "P2: phase timeline (heterogeneous swarm, 1000 contributors)",
+        ["phase boundary", "virtual time (s)"],
+        [
+            ["collection ends (first snapshot frozen)", timeline["collection_end"]],
+            ["computation starts", timeline["computation_start"]],
+            ["final result delivered", timeline["completion"]],
+        ],
+    )
+    outcome = verify_against_centralized(
+        report, spec.group_by, Relation(HEALTH_SCHEMA, config.rows)
+    )
+    print_table(
+        "P2: execution summary + centralized verification",
+        ["metric", "value"],
+        [
+            ["success", report.success],
+            ["delivered by", report.delivered_by],
+            ["partitions received", report.tally.get("received")],
+            ["partitions lost", report.tally.get("lost")],
+            ["messages sent", report.network_stats["sent"]],
+            ["delivery ratio", report.network_stats["delivery_ratio"]],
+            ["mean relative error vs centralized",
+             outcome.validity.mean_relative_error],
+        ],
+    )
+    assert report.success
+    assert outcome.validity.missing_groups == 0
+
+    def execute():
+        cfg = fast_scenario_config(n_contributors=200, n_rows=400, seed=4)
+        return run_once(cfg, aggregate_spec("part2-bench", 300), max_raw=100)
+
+    benchmark.pedantic(execute, rounds=3, iterations=1)
+
+
+def test_part2_intentional_device_power_off(benchmark):
+    """The demo lets attendees power off concrete devices at will."""
+    from repro.core.planner import PrivacyParameters, ResiliencyParameters
+    from repro.manager.scenario import Scenario
+
+    config = fast_scenario_config(n_contributors=150, n_rows=300, seed=11)
+    scenario = Scenario(config)
+    spec = aggregate_spec("part2-poweroff", cardinality=200)
+    victims = [d.device_id for d in scenario.processors[:2]]
+    for victim in victims:
+        scenario.simulator.schedule(
+            8.0, lambda v=victim: scenario.network.kill(v)
+        )
+    result = scenario.run_query(
+        spec,
+        privacy=PrivacyParameters(max_raw_per_edgelet=40),
+        resiliency=ResiliencyParameters(fault_rate=0.3, target_success=0.99),
+    )
+    print_table(
+        "P2: powering off 2 concrete devices mid-collection",
+        ["metric", "value"],
+        [
+            ["success", result.report.success],
+            ["partitions lost", result.report.tally.get("lost")],
+            ["valid", result.report.tally.get("valid")],
+        ],
+    )
+    assert result.report.success
+
+    def run():
+        cfg = fast_scenario_config(n_contributors=100, n_rows=200, seed=12)
+        return run_once(cfg, aggregate_spec("p2-bench2", 150), max_raw=40,
+                        fault_rate=0.3)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,116 @@
+"""Q-RES — §3.3 "Can a query always proceed despite the failures?"
+
+Sweeps the failure context (the demo's slider) and measures, over
+repeated executions:
+
+* the overcollection degree the planner picks;
+* the measured query success rate (must stay near the 99% target when
+  the planner's m is used);
+* the success rate *without* overcollection (m = 0), showing why the
+  margin is needed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _scenarios import aggregate_spec, fast_scenario_config
+from _tables import print_table
+
+from repro.core.planner import PrivacyParameters, QuerySpec, ResiliencyParameters
+from repro.core.resiliency import minimum_overcollection
+from repro.manager.scenario import Scenario
+
+RUNS = 6
+
+
+def _run_batch(message_loss: float, fault_rate_presumed: float, runs: int = RUNS,
+               force_m_zero: bool = False):
+    """Execute `runs` independent scenarios; return (successes, lost_avg, m)."""
+    successes = 0
+    lost_total = 0
+    chosen_m = None
+    for attempt in range(runs):
+        config = fast_scenario_config(
+            n_contributors=80, n_rows=160, seed=200 + attempt,
+            message_loss=message_loss, deadline=60.0,
+        )
+        scenario = Scenario(config)
+        spec = aggregate_spec(f"qres-{message_loss}-{attempt}", cardinality=120)
+        resiliency = ResiliencyParameters(
+            fault_rate=0.001 if force_m_zero else fault_rate_presumed,
+            target_success=0.5 if force_m_zero else 0.99,
+        )
+        result = scenario.run_query(
+            spec,
+            privacy=PrivacyParameters(max_raw_per_edgelet=30),
+            resiliency=resiliency,
+        )
+        meta = result.plan.metadata["overcollection"]
+        chosen_m = meta["m"]
+        if result.report.success and result.report.tally.get("valid"):
+            successes += 1
+        lost_total += result.report.tally.get("lost", meta["n"] + meta["m"])
+    return successes / runs, lost_total / runs, chosen_m
+
+
+def test_qres_success_rate_vs_failure_probability(benchmark):
+    """Overcollection keeps the success rate high as loss grows."""
+    rows = []
+    for message_loss, presumed in ((0.0, 0.05), (0.05, 0.3), (0.1, 0.5),
+                                   (0.2, 0.65)):
+        rate, lost_avg, m = _run_batch(message_loss, presumed)
+        rows.append([message_loss, presumed, m, f"{rate:.0%}", lost_avg])
+    print_table(
+        "Q-RES: valid-success rate vs message-loss probability "
+        f"[n=4, target 99%, {RUNS} runs each]",
+        ["msg loss", "presumed fault rate", "planner m", "valid rate",
+         "avg partitions lost"],
+        rows,
+    )
+    # with a presumption matching (or above) reality, queries keep
+    # succeeding as the network degrades
+    assert all(row[3] in ("83%", "100%") for row in rows[:3])
+
+    benchmark.pedantic(
+        lambda: _run_batch(0.05, 0.3, runs=1), rounds=3, iterations=1
+    )
+
+
+def test_qres_overcollection_necessity(benchmark):
+    """Without the margin (m=0) the same failure context breaks queries."""
+    with_margin, _, m_used = _run_batch(0.1, 0.5)
+    without_margin, _, _ = _run_batch(0.1, 0.5, force_m_zero=True)
+    print_table(
+        "Q-RES: the margin matters [message loss 10%]",
+        ["configuration", "valid-success rate"],
+        [
+            [f"planner margin (m={m_used})", f"{with_margin:.0%}"],
+            ["no margin (m=0)", f"{without_margin:.0%}"],
+        ],
+    )
+    assert with_margin >= without_margin
+
+    benchmark.pedantic(
+        lambda: _run_batch(0.1, 0.5, runs=1, force_m_zero=True),
+        rounds=3, iterations=1,
+    )
+
+
+def test_qres_planner_margin_growth(benchmark):
+    """The planner's m grows smoothly with the presumed fault rate."""
+    rows = [
+        [p, minimum_overcollection(4, p, 0.99), minimum_overcollection(16, p, 0.99)]
+        for p in (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+    ]
+    print_table(
+        "Q-RES: overcollection degree vs presumed fault rate",
+        ["fault rate", "m (n=4)", "m (n=16)"],
+        rows,
+    )
+    assert [r[1] for r in rows] == sorted(r[1] for r in rows)
+
+    benchmark(lambda: minimum_overcollection(16, 0.4, 0.99))

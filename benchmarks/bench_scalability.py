@@ -1,0 +1,103 @@
+"""Q-SCALE — §3.3: scalability with the number of simulated edgelets.
+
+The demo attests scalability by attaching "a configurable number of
+simulated edgelets" (thousands of Data Contributors).  This bench sweeps
+the swarm size and reports wall-clock, virtual completion time, and
+message counts; the expected shape is linear growth in messages and
+per-contributor work, with a constant-size combination phase.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _scenarios import aggregate_spec, fast_scenario_config, run_once
+from _tables import print_table
+
+
+def _execute(n_contributors: int, seed: int = 33):
+    config = fast_scenario_config(
+        n_contributors=n_contributors,
+        n_rows=n_contributors * 2,
+        seed=seed,
+        deadline=80.0,
+    )
+    spec = aggregate_spec(f"qscale-{n_contributors}", cardinality=n_contributors)
+    started = time.perf_counter()
+    result = run_once(config, spec, max_raw=max(50, n_contributors // 8))
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def test_qscale_contributor_sweep(benchmark):
+    """Messages scale linearly with contributors; combination is flat."""
+    rows = []
+    per_contributor = []
+    for n in (100, 400, 1600):
+        result, elapsed = _execute(n)
+        report = result.report
+        sent = report.network_stats["sent"]
+        final_size = len(report.result.all_rows()) if report.result else 0
+        per_contributor.append(sent / n)
+        rows.append(
+            [
+                n,
+                report.success,
+                f"{elapsed:.2f}",
+                sent,
+                f"{sent / n:.2f}",
+                report.completion_time,
+                final_size,
+            ]
+        )
+    print_table(
+        "Q-SCALE: execution vs number of simulated contributors",
+        ["contributors", "success", "wall clock (s)", "messages sent",
+         "messages/contributor", "virtual completion", "result rows"],
+        rows,
+    )
+    assert all(row[1] for row in rows)
+    # near-linear: per-contributor message cost stays within 3x across
+    # a 16x swarm-size range
+    assert max(per_contributor) / min(per_contributor) < 3.0
+    # combination output is aggregate-sized, not data-sized
+    assert all(row[6] < 30 for row in rows)
+
+    benchmark.pedantic(lambda: _execute(100), rounds=3, iterations=1)
+
+
+def test_qscale_crypto_overhead(benchmark):
+    """Sealed envelopes cost wall-clock but not protocol behaviour."""
+    rows_spec = 40
+    results = {}
+    for secure in (False, True):
+        config = fast_scenario_config(
+            n_contributors=rows_spec, n_rows=rows_spec * 2, seed=35,
+            secure_channels=secure,
+        )
+        spec = aggregate_spec(f"qscale-crypto-{secure}", cardinality=rows_spec)
+        started = time.perf_counter()
+        result = run_once(config, spec, max_raw=20)
+        elapsed = time.perf_counter() - started
+        results[secure] = (result, elapsed)
+    print_table(
+        "Q-SCALE: secure-channel overhead [40 contributors]",
+        ["channels", "success", "wall clock (s)", "bytes sent"],
+        [
+            ["plain", results[False][0].report.success,
+             f"{results[False][1]:.2f}",
+             results[False][0].report.network_stats["bytes_sent"]],
+            ["sealed+signed", results[True][0].report.success,
+             f"{results[True][1]:.2f}",
+             results[True][0].report.network_stats["bytes_sent"]],
+        ],
+    )
+    assert results[True][0].report.success
+
+    benchmark.pedantic(
+        lambda: _execute(50), rounds=3, iterations=1
+    )

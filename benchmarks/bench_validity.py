@@ -1,0 +1,165 @@
+"""Q-VALID — the Validity property (§1, §2.2).
+
+"The query result is equivalent to the one obtained in a centralized
+context."  For distributive aggregates:
+
+* with zero lost partitions the distributed grouping-sets result equals
+  the centralized result over the collected snapshot *exactly*;
+* with up to m lost partitions the extrapolated result stays close (the
+  surviving hash partitions are representative samples) — measured here
+  as relative error vs. the number of lost partitions.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _tables import print_table
+
+from repro.core.validity import compare_results
+from repro.data.health import generate_health_rows
+from repro.query.aggregates import AggregateSpec
+from repro.query.groupby import (
+    GroupByQuery,
+    evaluate_group_by,
+    finalize_partials,
+    merge_partials,
+)
+from repro.query.relation import Relation
+from repro.data.health import HEALTH_SCHEMA
+
+QUERY = GroupByQuery(
+    grouping_sets=(("region",), ()),
+    aggregates=(AggregateSpec("count"), AggregateSpec("avg", "age"),
+                AggregateSpec("sum", "bmi")),
+)
+
+
+def _distributed_result(rows, n_partitions, lost: int, extrapolate=True):
+    """Simulate Overcollection at the algebra level: hash partition,
+    drop `lost` partitions, merge, extrapolate counts."""
+    relation = Relation(HEALTH_SCHEMA, rows)
+    partitions = relation.partition_by_hash(n_partitions, key="patient_id")
+    survivors = partitions[lost:]
+    partials = [evaluate_group_by(QUERY, iter(part)) for part in survivors]
+    merged = merge_partials(QUERY, partials)
+    result = finalize_partials(QUERY, merged)
+    if extrapolate and lost:
+        result = result.scaled_counts(n_partitions / (n_partitions - lost))
+    return result
+
+
+def test_qvalid_exact_without_loss(benchmark):
+    """Strict validity: zero loss -> byte-identical result."""
+    rows = generate_health_rows(800, seed=41)
+    centralized = finalize_partials(QUERY, evaluate_group_by(QUERY, rows))
+    distributed = _distributed_result(rows, n_partitions=8, lost=0)
+    report = compare_results(centralized, distributed)
+    print_table(
+        "Q-VALID: zero lost partitions [n+m=8, C=800]",
+        ["metric", "value"],
+        [
+            ["exact match", report.exact_match],
+            ["max relative error", report.max_relative_error],
+            ["compared cells", report.compared_cells],
+        ],
+    )
+    assert report.exact_match
+
+    benchmark(lambda: _distributed_result(rows, 8, 0))
+
+
+def test_qvalid_error_vs_lost_partitions(benchmark):
+    """Approximate validity: error grows slowly with lost partitions."""
+    rows = generate_health_rows(1600, seed=43)
+    centralized = finalize_partials(QUERY, evaluate_group_by(QUERY, rows))
+    table = []
+    errors = []
+    for lost in (0, 1, 2, 4, 6):
+        distributed = _distributed_result(rows, n_partitions=8, lost=lost)
+        report = compare_results(centralized, distributed)
+        errors.append(report.mean_relative_error)
+        table.append(
+            [lost, 8 - lost, report.exact_match,
+             f"{report.mean_relative_error:.4f}",
+             f"{report.max_relative_error:.4f}"]
+        )
+    print_table(
+        "Q-VALID: extrapolated result error vs lost partitions [n+m=8, C=1600]",
+        ["lost", "survivors", "exact", "mean rel. error", "max rel. error"],
+        table,
+    )
+    assert errors[0] < 1e-12  # round-off only when nothing is lost
+    assert all(error < 0.30 for error in errors)  # representative samples
+
+    benchmark(lambda: _distributed_result(rows, 8, 4))
+
+
+def test_qvalid_extrapolation_beats_raw_merge(benchmark):
+    """Scaling counts by (n+m)/received removes the systematic bias."""
+    rows = generate_health_rows(1600, seed=47)
+    centralized = finalize_partials(QUERY, evaluate_group_by(QUERY, rows))
+    biased = _distributed_result(rows, 8, lost=4, extrapolate=False)
+    corrected = _distributed_result(rows, 8, lost=4, extrapolate=True)
+    biased_report = compare_results(centralized, biased)
+    corrected_report = compare_results(centralized, corrected)
+    print_table(
+        "Q-VALID: count extrapolation [4 of 8 partitions lost]",
+        ["variant", "mean rel. error", "max rel. error"],
+        [
+            ["raw merge", f"{biased_report.mean_relative_error:.4f}",
+             f"{biased_report.max_relative_error:.4f}"],
+            ["extrapolated", f"{corrected_report.mean_relative_error:.4f}",
+             f"{corrected_report.max_relative_error:.4f}"],
+        ],
+    )
+    assert corrected_report.mean_relative_error < biased_report.mean_relative_error
+
+    benchmark(lambda: _distributed_result(rows, 8, 4, extrapolate=True))
+
+
+def test_qvalid_partition_representativeness(benchmark):
+    """Validity condition (1): each partition must be representative.
+
+    Hash partitions pass the statistical test; an adversarially skewed
+    partition (poisoning attempt) is flagged."""
+    from repro.core.representativeness import check_representative
+    from repro.data.health import HEALTH_SCHEMA
+
+    rows = generate_health_rows(1200, seed=51)
+    relation = Relation(HEALTH_SCHEMA, rows)
+    partitions = relation.partition_by_hash(6, key="patient_id")
+    table = []
+    for index, partition in enumerate(partitions):
+        report = check_representative(
+            partition.rows, rows, HEALTH_SCHEMA,
+            columns=["age", "bmi", "region", "sex"],
+        )
+        table.append(
+            [f"hash partition {index}", len(partition),
+             "yes" if report.representative else "no",
+             ", ".join(report.rejected_columns()) or "-"]
+        )
+    skewed = [row for row in rows if row["age"] > 85][:150]
+    skew_report = check_representative(
+        skewed, rows, HEALTH_SCHEMA, columns=["age", "bmi", "region", "sex"]
+    )
+    table.append(
+        ["age>85 poisoned", len(skewed),
+         "yes" if skew_report.representative else "no",
+         ", ".join(skew_report.rejected_columns())]
+    )
+    print_table(
+        "Q-VALID: partition representativeness (validity condition 1)",
+        ["partition", "rows", "representative", "rejected columns"],
+        table,
+    )
+    assert all(row[2] == "yes" for row in table[:-1])
+    assert table[-1][2] == "no"
+
+    benchmark(lambda: check_representative(
+        partitions[0].rows, rows, HEALTH_SCHEMA, columns=["age", "region"]
+    ))

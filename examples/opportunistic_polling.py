@@ -1,0 +1,78 @@
+"""Opportunistic polling: the paper's first motivating use case.
+
+"During events that welcome a large audience (a conference, a museum, a
+concert, a match), the participants using a TrustZone-based smartphone
+could contribute with their data (their centers of interest,
+nationality, age) to a global processing to improve the user experience
+in real time."
+
+Smartphones disconnect at will, so the scenario runs with aggressive
+disconnection injection and shows Overcollection absorbing it.
+
+Run with:  python examples/opportunistic_polling.py
+"""
+
+from repro.core import QuerySpec
+from repro.core.planner import PrivacyParameters, ResiliencyParameters
+from repro.data import POLLING_SCHEMA, generate_polling_rows
+from repro.manager import Scenario, ScenarioConfig
+from repro.query import parse_query
+
+SQL = (
+    "SELECT count(*), avg(satisfaction), avg(spending) FROM polling "
+    "GROUP BY GROUPING SETS ((interest), (nationality), ())"
+)
+
+
+def main() -> None:
+    rows = generate_polling_rows(800, seed=42)
+    config = ScenarioConfig(
+        n_contributors=400,
+        n_processors=50,
+        rows=rows,
+        schema=POLLING_SCHEMA,
+        device_mix=(0.1, 0.9, 0.0),      # almost everyone on a smartphone
+        disconnect_probability=0.01,     # attendees wander out of range
+        disconnect_duration=10.0,
+        collection_window=30.0,
+        deadline=120.0,
+        seed=42,
+    )
+    scenario = Scenario(config)
+    spec = QuerySpec(
+        query_id="audience-poll", kind="aggregate",
+        snapshot_cardinality=500, group_by=parse_query(SQL).query,
+    )
+    result = scenario.run_query(
+        spec,
+        privacy=PrivacyParameters(
+            max_raw_per_edgelet=120,
+            separated_pairs=(("age", "nationality"),),  # quasi-id pair
+        ),
+        resiliency=ResiliencyParameters(fault_rate=0.25, target_success=0.99),
+    )
+    report = result.report
+    print(f"Poll {'SUCCEEDED' if report.success else 'FAILED'}; "
+          f"partitions received {report.tally.get('received')}"
+          f"/{report.tally.get('n', 0) + report.tally.get('m', 0)}")
+    print(f"Network: {report.network_stats['sent']:.0f} messages sent, "
+          f"delivery ratio {report.network_stats['delivery_ratio']:.2f}")
+
+    print("\nAudience by interest (service adaptation input):")
+    for row in sorted(
+        report.result.rows_for(("interest",)),
+        key=lambda r: -(r.get("count") or 0),
+    ):
+        print(f"  {row['interest']:<10} ~{row['count']:6.0f} attendees, "
+              f"satisfaction {row['avg_satisfaction']:.2f}, "
+              f"spending {row['avg_spending']:.0f}")
+
+    total = report.result.rows_for(())[0]
+    print(f"\nWhole audience: ~{total['count']:.0f} attendees, "
+          f"mean satisfaction {total['avg_satisfaction']:.2f}")
+    print(f"Privacy: age/nationality separation respected = "
+          f"{result.exposure.separation_respected} at the computer level")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Edgelet computing — reproduction of the EDBT 2023 demonstration
+"Pushing Edge Computing one Step Further: Resilient and
+Privacy-Preserving Processing on Personal Devices".
+
+The library simulates a swarm of TEE-enabled personal devices (PCs with
+SGX, TrustZone smartphones, TPM home boxes) connected by an uncertain
+opportunistic network, and executes privacy-preserving, fault-tolerant
+queries over the data scattered on them::
+
+    from repro.data import HEALTH_SCHEMA, generate_health_rows
+    from repro.manager import Scenario, ScenarioConfig
+    from repro.core import QuerySpec
+    from repro.query import parse_query
+
+    parsed = parse_query(
+        "SELECT count(*), avg(age) FROM health WHERE age > 65 "
+        "GROUP BY GROUPING SETS ((region), ())"
+    )
+    config = ScenarioConfig(
+        n_contributors=200, n_processors=30,
+        rows=generate_health_rows(400, seed=7), schema=HEALTH_SCHEMA,
+    )
+    spec = QuerySpec(query_id="q1", kind="aggregate",
+                     snapshot_cardinality=200, group_by=parsed.query)
+    result = Scenario(config).run_query(spec)
+    assert result.report.success
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced figures and demonstration measurements.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.planner import (
+    EdgeletPlanner,
+    PrivacyParameters,
+    QuerySpec,
+    ResiliencyParameters,
+)
+from repro.manager.scenario import Scenario, ScenarioConfig
+
+__all__ = [
+    "EdgeletPlanner",
+    "PrivacyParameters",
+    "QuerySpec",
+    "ResiliencyParameters",
+    "Scenario",
+    "ScenarioConfig",
+    "__version__",
+]

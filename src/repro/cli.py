@@ -1,0 +1,284 @@
+"""Command-line interface to the Edgelet reproduction.
+
+A text substitute for the demonstration GUI.  Subcommands:
+
+* ``plan`` — build and display a QEP for the given knobs (demo Part 1);
+* ``run`` — execute an aggregate SQL query on a synthetic swarm and
+  display the result, tally, and centralized verification (demo Part 2);
+* ``kmeans`` — execute the distributed K-Means query;
+* ``resiliency`` — print the overcollection table for a fault-rate
+  sweep (the failure slider).
+
+Examples::
+
+    python -m repro.cli plan --cardinality 2000 --max-raw 200 \
+        --fault-rate 0.2 --separate age,bmi
+    python -m repro.cli run --contributors 200 --rows 400 \
+        --sql "SELECT count(*), avg(age) FROM health GROUP BY region"
+    python -m repro.cli kmeans --contributors 150 --heartbeats 6
+    python -m repro.cli resiliency --n 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.planner import (
+    EdgeletPlanner,
+    PrivacyParameters,
+    QuerySpec,
+    ResiliencyParameters,
+)
+from repro.core.resiliency import minimum_overcollection, query_success_probability
+from repro.data.health import HEALTH_SCHEMA, generate_health_rows
+from repro.manager.dashboard import render_plan, render_report
+from repro.manager.scenario import Scenario, ScenarioConfig
+from repro.manager.verification import verify_against_centralized
+from repro.query.relation import Relation
+from repro.query.sql import parse_query
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_SQL = (
+    "SELECT count(*), avg(age), avg(bmi) FROM health WHERE age > 65 "
+    "GROUP BY GROUPING SETS ((region), ())"
+)
+
+
+def _parse_pairs(raw: str | None) -> tuple[tuple[str, str], ...]:
+    """Parse ``a,b;c,d`` into separation pairs."""
+    if not raw:
+        return ()
+    pairs = []
+    for chunk in raw.split(";"):
+        parts = [part.strip() for part in chunk.split(",")]
+        if len(parts) != 2 or not all(parts):
+            raise argparse.ArgumentTypeError(
+                f"separation pairs look like 'a,b;c,d', got {raw!r}"
+            )
+        pairs.append((parts[0], parts[1]))
+    return tuple(pairs)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Edgelet computing reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="build and display a QEP (demo Part 1)")
+    plan.add_argument("--sql", default=DEFAULT_SQL, help="aggregate SQL query")
+    plan.add_argument("--cardinality", type=int, default=2000,
+                      help="target snapshot cardinality C")
+    plan.add_argument("--max-raw", type=int, default=500,
+                      help="max raw tuples per edgelet (horizontal knob)")
+    plan.add_argument("--separate", type=_parse_pairs, default=(),
+                      help="attribute pairs to separate, e.g. 'age,bmi;age,zipcode'")
+    plan.add_argument("--fault-rate", type=float, default=0.1,
+                      help="presumed partition fault rate")
+    plan.add_argument("--target-success", type=float, default=0.99)
+    plan.add_argument("--strategy", choices=("overcollection", "backup"),
+                      default="overcollection")
+    plan.add_argument("--contributors", type=int, default=20)
+
+    run = sub.add_parser("run", help="execute a query on a synthetic swarm")
+    run.add_argument("--sql", default=DEFAULT_SQL)
+    run.add_argument("--contributors", type=int, default=200)
+    run.add_argument("--processors", type=int, default=40)
+    run.add_argument("--rows", type=int, default=400, help="synthetic dataset size")
+    run.add_argument("--cardinality", type=int, default=300)
+    run.add_argument("--max-raw", type=int, default=100)
+    run.add_argument("--fault-rate", type=float, default=0.1)
+    run.add_argument("--message-loss", type=float, default=0.0)
+    run.add_argument("--crash-probability", type=float, default=0.0)
+    run.add_argument("--secure-channels", action="store_true")
+    run.add_argument("--strategy", choices=("overcollection", "backup"),
+                     default="overcollection")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--show-plan", action="store_true")
+
+    kmeans = sub.add_parser("kmeans", help="execute the distributed K-Means query")
+    kmeans.add_argument("--contributors", type=int, default=150)
+    kmeans.add_argument("--processors", type=int, default=40)
+    kmeans.add_argument("--rows", type=int, default=300)
+    kmeans.add_argument("--cardinality", type=int, default=250)
+    kmeans.add_argument("--k", type=int, default=3)
+    kmeans.add_argument("--heartbeats", type=int, default=5)
+    kmeans.add_argument("--max-raw", type=int, default=80)
+    kmeans.add_argument("--fault-rate", type=float, default=0.15)
+    kmeans.add_argument("--seed", type=int, default=0)
+
+    resiliency = sub.add_parser(
+        "resiliency", help="overcollection table for a fault-rate sweep"
+    )
+    resiliency.add_argument("--n", type=int, default=10,
+                            help="horizontal partitioning degree")
+    resiliency.add_argument("--target-success", type=float, default=0.99)
+
+    advise = sub.add_parser(
+        "advise", help="recommend a resiliency strategy for a query"
+    )
+    advise.add_argument("--distributive", action="store_true",
+                        help="the processing merges from partial states")
+    advise.add_argument("--iterative", action="store_true",
+                        help="the algorithm iterates (K-Means style)")
+    advise.add_argument("--exact", action="store_true",
+                        help="an exact result is required")
+    advise.add_argument("--n", type=int, default=10)
+    advise.add_argument("--fault-rate", type=float, default=0.1)
+
+    return parser
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    parsed = parse_query(args.sql)
+    spec = QuerySpec(
+        query_id="cli-plan", kind="aggregate",
+        snapshot_cardinality=args.cardinality, group_by=parsed.query,
+    )
+    planner = EdgeletPlanner(
+        privacy=PrivacyParameters(
+            max_raw_per_edgelet=args.max_raw, separated_pairs=args.separate
+        ),
+        resiliency=ResiliencyParameters(
+            fault_rate=args.fault_rate,
+            target_success=args.target_success,
+            strategy=args.strategy,
+        ),
+    )
+    plan = planner.plan(spec, n_contributors=args.contributors)
+    print(render_plan(plan))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    rows = generate_health_rows(args.rows, seed=args.seed)
+    config = ScenarioConfig(
+        n_contributors=args.contributors,
+        n_processors=args.processors,
+        rows=rows,
+        schema=HEALTH_SCHEMA,
+        device_mix=(1.0, 0.0, 0.0),
+        message_loss=args.message_loss,
+        crash_probability=args.crash_probability,
+        secure_channels=args.secure_channels,
+        seed=args.seed,
+    )
+    scenario = Scenario(config)
+    parsed = parse_query(args.sql)
+    spec = QuerySpec(
+        query_id="cli-run", kind="aggregate",
+        snapshot_cardinality=args.cardinality, group_by=parsed.query,
+    )
+    result = scenario.run_query(
+        spec,
+        privacy=PrivacyParameters(max_raw_per_edgelet=args.max_raw),
+        resiliency=ResiliencyParameters(
+            fault_rate=args.fault_rate, strategy=args.strategy
+        ),
+    )
+    if args.show_plan:
+        print(render_plan(result.plan))
+        print()
+    print(render_report(result.report))
+    if result.report.success and (parsed.order_by or parsed.limit is not None):
+        print("  presented (ORDER BY / LIMIT applied):")
+        for row in parsed.present(result.report.result.all_rows()):
+            print(f"    {row}")
+    if result.report.success:
+        outcome = verify_against_centralized(
+            result.report, spec.group_by, Relation(HEALTH_SCHEMA, rows)
+        )
+        print(
+            f"  verification: exact={outcome.exact}, "
+            f"mean rel. error={outcome.validity.mean_relative_error:.4f}"
+        )
+        print(f"  exposure: {result.exposure.summary()}")
+        print(f"  liability: {result.liability.summary()}")
+        return 0
+    return 1
+
+
+def _cmd_kmeans(args: argparse.Namespace) -> int:
+    rows = generate_health_rows(args.rows, seed=args.seed)
+    config = ScenarioConfig(
+        n_contributors=args.contributors,
+        n_processors=args.processors,
+        rows=rows,
+        schema=HEALTH_SCHEMA,
+        device_mix=(1.0, 0.0, 0.0),
+        seed=args.seed,
+    )
+    scenario = Scenario(config)
+    spec = QuerySpec(
+        query_id="cli-kmeans", kind="kmeans",
+        snapshot_cardinality=args.cardinality, kmeans_k=args.k,
+        feature_columns=("bmi", "systolic_bp", "glucose"),
+        heartbeats=args.heartbeats,
+    )
+    result = scenario.run_query(
+        spec,
+        privacy=PrivacyParameters(max_raw_per_edgelet=args.max_raw),
+        resiliency=ResiliencyParameters(fault_rate=args.fault_rate),
+    )
+    print(render_report(result.report))
+    if result.report.success and result.report.kmeans is not None:
+        for centroid, weight in zip(
+            result.report.kmeans.centroids, result.report.kmeans.weights
+        ):
+            values = ", ".join(f"{value:.2f}" for value in centroid)
+            print(f"  centroid ({values})  weight {weight:.0f}")
+        return 0
+    return 1
+
+
+def _cmd_resiliency(args: argparse.Namespace) -> int:
+    print(f"{'fault rate':>12} {'m':>5} {'n+m':>5} {'P(success)':>12}")
+    for fault_rate in (0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5):
+        m = minimum_overcollection(args.n, fault_rate, args.target_success)
+        probability = query_success_probability(args.n, m, fault_rate)
+        print(f"{fault_rate:>12.2f} {m:>5d} {args.n + m:>5d} {probability:>12.4f}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import QueryProperties, recommend_strategy
+
+    properties = QueryProperties(
+        distributive=args.distributive,
+        iterative=args.iterative,
+        exact_result_required=args.exact,
+    )
+    recommendation = recommend_strategy(
+        properties, n=args.n, fault_rate=args.fault_rate
+    )
+    print(f"strategy: {recommendation.strategy}")
+    print(f"heartbeat execution: {recommendation.heartbeat_execution}")
+    print(f"extra devices: {recommendation.extra_devices}")
+    print(f"worst extra latency: {recommendation.worst_extra_latency:.0f}s")
+    for reason in recommendation.reasons:
+        print(f"  - {reason}")
+    return 0
+
+
+_COMMANDS = {
+    "plan": _cmd_plan,
+    "run": _cmd_run,
+    "kmeans": _cmd_kmeans,
+    "resiliency": _cmd_resiliency,
+    "advise": _cmd_advise,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

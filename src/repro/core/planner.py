@@ -1,0 +1,486 @@
+"""Privacy- and resiliency-aware construction of Edgelet QEPs.
+
+This is the machinery behind Part 1 of the demonstration: attendees pick
+a query, adjust the privacy knobs (maximum raw data per edgelet,
+attribute pairs to separate) and the failure probability, and watch the
+QEP change shape — more horizontal partitions, more vertical column
+groups, a larger overcollection degree.
+
+Inputs:
+
+* :class:`QuerySpec` — what to compute (a grouping-sets aggregate query
+  or a K-Means clustering, over a target snapshot of cardinality ``C``);
+* :class:`PrivacyParameters` — ``max_raw_per_edgelet`` drives the
+  horizontal partitioning degree ``n``; ``separated_pairs`` drives the
+  vertical column groups;
+* :class:`ResiliencyParameters` — the fault presumption rate and target
+  success probability drive the overcollection degree ``m`` (or the
+  number of passive backups for the Backup strategy).
+
+Output: a validated :class:`~repro.core.qep.QueryExecutionPlan` shaped
+like Figure 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from repro.core.assignment import contributor_builder
+from repro.core.overcollection import OvercollectionConfig
+from repro.core.qep import Operator, OperatorRole, QueryExecutionPlan
+from repro.core.resiliency import minimum_overcollection
+from repro.query.groupby import GroupByQuery
+
+__all__ = [
+    "PlanningError",
+    "QuerySpec",
+    "PrivacyParameters",
+    "ResiliencyParameters",
+    "EdgeletPlanner",
+]
+
+
+class PlanningError(Exception):
+    """Raised when no plan can satisfy the requested parameters."""
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """What the Querier wants computed.
+
+    Attributes:
+        query_id: unique identifier of the query execution.
+        kind: ``"aggregate"`` (grouping-sets SQL) or ``"kmeans"``.
+        group_by: the logical query (for ``aggregate``; for ``kmeans``
+            an optional Group-By applied to the resulting clusters).
+        snapshot_cardinality: target representative snapshot size ``C``.
+        kmeans_k: number of clusters (``kmeans`` only).
+        feature_columns: numeric columns clustered (``kmeans`` only).
+        heartbeats: heartbeat count before the deadline (``kmeans``).
+    """
+
+    query_id: str
+    kind: str
+    snapshot_cardinality: int
+    group_by: GroupByQuery | None = None
+    kmeans_k: int = 3
+    feature_columns: tuple[str, ...] = ()
+    heartbeats: int = 5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("aggregate", "kmeans"):
+            raise ValueError(f"unknown query kind {self.kind!r}")
+        if self.snapshot_cardinality <= 0:
+            raise ValueError("snapshot_cardinality must be positive")
+        if self.kind == "aggregate" and self.group_by is None:
+            raise ValueError("aggregate queries need a group_by")
+        if self.kind == "kmeans":
+            if not self.feature_columns:
+                raise ValueError("kmeans queries need feature_columns")
+            if self.kmeans_k <= 0:
+                raise ValueError("kmeans_k must be positive")
+            if self.heartbeats <= 0:
+                raise ValueError("heartbeats must be positive")
+
+    def collected_columns(self) -> list[str]:
+        """Columns the Snapshot Builders must collect."""
+        columns: set[str] = set()
+        if self.group_by is not None:
+            columns.update(self.group_by.input_columns())
+        columns.update(self.feature_columns)
+        return sorted(columns)
+
+
+@dataclass(frozen=True)
+class PrivacyParameters:
+    """Privacy knobs of Part 1.
+
+    Attributes:
+        max_raw_per_edgelet: maximum number of raw tuples one Data
+            Processor may hold — horizontal partitioning degree is
+            ``n = ceil(C / max_raw_per_edgelet)``.
+        separated_pairs: attribute pairs that must never co-reside in a
+            single TEE (quasi-identifier separation).
+    """
+
+    max_raw_per_edgelet: int = 10_000
+    separated_pairs: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_raw_per_edgelet <= 0:
+            raise ValueError("max_raw_per_edgelet must be positive")
+        for a, b in self.separated_pairs:
+            if a == b:
+                raise ValueError(f"cannot separate column {a!r} from itself")
+
+
+@dataclass(frozen=True)
+class ResiliencyParameters:
+    """Resiliency knobs of Part 1.
+
+    Attributes:
+        fault_rate: presumed probability that one partition is lost.
+        target_success: required probability that the query completes
+            validly before its deadline.
+        strategy: ``"overcollection"`` or ``"backup"``.
+        backup_replicas: passive replicas per Data Processor (Backup
+            strategy only).
+    """
+
+    fault_rate: float = 0.05
+    target_success: float = 0.99
+    strategy: str = "overcollection"
+    backup_replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fault_rate < 1:
+            raise ValueError("fault_rate must be in [0, 1)")
+        if not 0 < self.target_success < 1:
+            raise ValueError("target_success must be in (0, 1)")
+        if self.strategy not in ("overcollection", "backup"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.backup_replicas < 0:
+            raise ValueError("backup_replicas must be non-negative")
+
+
+class EdgeletPlanner:
+    """Builds Figure-3-shaped plans from the three parameter blocks."""
+
+    def __init__(
+        self,
+        privacy: PrivacyParameters | None = None,
+        resiliency: ResiliencyParameters | None = None,
+    ):
+        self.privacy = privacy or PrivacyParameters()
+        self.resiliency = resiliency or ResiliencyParameters()
+
+    # -- public API ----------------------------------------------------------
+
+    def plan(
+        self, spec: QuerySpec, contributor_ids: list[str] | None = None,
+        n_contributors: int = 0,
+    ) -> QueryExecutionPlan:
+        """Build and validate the QEP for ``spec``.
+
+        ``contributor_ids`` names the contributing edgelets; when absent
+        ``n_contributors`` placeholder leaves are generated (useful for
+        plan-shape experiments without a device swarm).
+        """
+        contributors = self._contributor_ids(contributor_ids, n_contributors)
+        n = self.horizontal_degree(spec)
+        column_groups = self.vertical_groups(spec)
+        if self.resiliency.strategy == "overcollection":
+            m = minimum_overcollection(
+                n, self.resiliency.fault_rate, self.resiliency.target_success
+            )
+            config = OvercollectionConfig(
+                n=n, m=m, snapshot_cardinality=spec.snapshot_cardinality
+            )
+            plan = self._build_overcollection_plan(spec, contributors, config, column_groups)
+        else:
+            plan = self._build_backup_plan(spec, contributors, n, column_groups)
+        plan.validate()
+        return plan
+
+    def horizontal_degree(self, spec: QuerySpec) -> int:
+        """``n = ceil(C / max_raw_per_edgelet)``."""
+        return max(1, math.ceil(spec.snapshot_cardinality / self.privacy.max_raw_per_edgelet))
+
+    def vertical_groups(self, spec: QuerySpec) -> list[tuple[str, ...]]:
+        """Partition the query's columns into co-residable groups.
+
+        Grouping columns must accompany every aggregate, so a separation
+        constraint touching a grouping column (or, for K-Means, any two
+        feature columns) is unsatisfiable and raises
+        :class:`PlanningError` with an explanation.
+
+        Aggregate columns are split by greedy coloring of the conflict
+        graph induced by ``separated_pairs``; columns without conflicts
+        share group 0.
+        """
+        separated = {tuple(sorted(pair)) for pair in self.privacy.separated_pairs}
+        if spec.kind == "kmeans":
+            # the Computer needs the full feature vector, plus whatever
+            # the optional Group-By-on-clusters round aggregates
+            needed = set(spec.feature_columns)
+            if spec.group_by is not None:
+                needed.update(spec.group_by.input_columns())
+            for a, b in separated:
+                if a in needed and b in needed:
+                    raise PlanningError(
+                        f"cannot separate {a!r} from {b!r}: the K-Means "
+                        "Computer needs both columns together"
+                    )
+            return [tuple(sorted(needed))]
+
+        query = spec.group_by
+        grouping_columns: set[str] = set()
+        for grouping_set in query.grouping_sets:
+            grouping_columns.update(grouping_set)
+        aggregate_columns = sorted(
+            {s.column for s in query.aggregates if s.column is not None}
+        )
+        for a, b in separated:
+            if a in grouping_columns and b in grouping_columns:
+                raise PlanningError(
+                    f"cannot separate grouping columns {a!r} and {b!r}: both "
+                    "must accompany every aggregate"
+                )
+            if (a in grouping_columns) != (b in grouping_columns):
+                grouped = a if a in grouping_columns else b
+                other = b if grouped == a else a
+                if other in aggregate_columns or other in grouping_columns:
+                    raise PlanningError(
+                        f"cannot separate grouping column {grouped!r} from "
+                        f"{other!r}: grouping columns reach every Computer"
+                    )
+
+        conflict = nx.Graph()
+        conflict.add_nodes_from(aggregate_columns)
+        for a, b in separated:
+            if a in conflict and b in conflict:
+                conflict.add_edge(a, b)
+        coloring = nx.greedy_color(conflict, strategy="largest_first")
+        n_colors = max(coloring.values(), default=0) + 1 if coloring else 1
+        groups: list[set[str]] = [set() for _ in range(max(1, n_colors))]
+        for column, color in sorted(coloring.items()):
+            groups[color].add(column)
+        ordered_grouping = tuple(sorted(grouping_columns))
+        return [
+            tuple(sorted(group | set(ordered_grouping)))
+            for group in groups
+            if group or len(groups) == 1
+        ] or [ordered_grouping]
+
+    # -- plan builders -----------------------------------------------------------
+
+    def _contributor_ids(
+        self, contributor_ids: list[str] | None, n_contributors: int
+    ) -> list[str]:
+        if contributor_ids:
+            return list(contributor_ids)
+        if n_contributors <= 0:
+            raise PlanningError(
+                "provide contributor_ids or a positive n_contributors"
+            )
+        return [f"contributor-{i:05d}" for i in range(n_contributors)]
+
+    def _aggregates_for_group(
+        self, query: GroupByQuery, group: tuple[str, ...]
+    ) -> list[int]:
+        """Indices of the query aggregates computable from ``group``.
+
+        ``count(*)`` aggregates belong to the first group only (counting
+        once is enough).
+        """
+        indices = []
+        for index, spec in enumerate(query.aggregates):
+            if spec.column is not None and spec.column in group:
+                indices.append(index)
+        return indices
+
+    def _build_overcollection_plan(
+        self,
+        spec: QuerySpec,
+        contributors: list[str],
+        config: OvercollectionConfig,
+        column_groups: list[tuple[str, ...]],
+    ) -> QueryExecutionPlan:
+        plan = QueryExecutionPlan(
+            query_id=spec.query_id,
+            metadata={
+                "kind": spec.kind,
+                "strategy": "overcollection",
+                "overcollection": config.to_dict(),
+                "column_groups": [list(group) for group in column_groups],
+                "collected_columns": spec.collected_columns(),
+                "fault_rate": self.resiliency.fault_rate,
+                "target_success": self.resiliency.target_success,
+                "heartbeats": spec.heartbeats if spec.kind == "kmeans" else None,
+                "kmeans_k": spec.kmeans_k if spec.kind == "kmeans" else None,
+                "group_by": spec.group_by.to_dict() if spec.group_by else None,
+                "feature_columns": list(spec.feature_columns),
+            },
+        )
+        total = config.total_partitions
+        builders = [
+            plan.new_operator(
+                OperatorRole.SNAPSHOT_BUILDER,
+                params={"partition_index": i,
+                        "partition_cardinality": config.partition_cardinality},
+                op_id=f"builder[{i}]",
+            )
+            for i in range(total)
+        ]
+        builder_ids = [b.op_id for b in builders]
+        for contributor in contributors:
+            leaf = plan.new_operator(
+                OperatorRole.DATA_CONTRIBUTOR,
+                params={"device": contributor},
+                op_id=f"contrib[{contributor}]",
+            )
+            target = contributor_builder(contributor, builder_ids, spec.query_id)
+            plan.connect(leaf, target)
+
+        combiner = plan.new_operator(
+            OperatorRole.COMPUTING_COMBINER, op_id="combiner"
+        )
+        backup = plan.new_operator(
+            OperatorRole.ACTIVE_BACKUP,
+            params={"mirrors": combiner.op_id},
+            op_id="combiner-backup",
+        )
+        querier = plan.new_operator(OperatorRole.QUERIER, op_id="querier")
+
+        if spec.kind == "aggregate":
+            query = spec.group_by
+            for i in range(total):
+                for g, group in enumerate(column_groups):
+                    aggregate_indices = self._aggregates_for_group(query, group)
+                    if g == 0:
+                        aggregate_indices = sorted(
+                            set(aggregate_indices)
+                            | {
+                                idx
+                                for idx, agg in enumerate(query.aggregates)
+                                if agg.column is None
+                            }
+                        )
+                    computer = plan.new_operator(
+                        OperatorRole.COMPUTER,
+                        params={
+                            "partition_index": i,
+                            "group_index": g,
+                            "column_group": list(group),
+                            "aggregate_indices": aggregate_indices,
+                        },
+                        op_id=f"computer[{i},g{g}]",
+                    )
+                    plan.connect(builders[i], computer)
+                    plan.connect(computer, combiner)
+                    plan.connect(computer, backup)
+        else:
+            for i in range(total):
+                computer = plan.new_operator(
+                    OperatorRole.COMPUTER,
+                    params={
+                        "partition_index": i,
+                        "group_index": 0,
+                        "column_group": list(column_groups[0]),
+                        "kmeans_k": spec.kmeans_k,
+                    },
+                    op_id=f"computer[{i},g0]",
+                )
+                plan.connect(builders[i], computer)
+                plan.connect(computer, combiner)
+                plan.connect(computer, backup)
+
+        plan.connect(combiner, querier)
+        plan.connect(backup, querier)
+        return plan
+
+    def _build_backup_plan(
+        self,
+        spec: QuerySpec,
+        contributors: list[str],
+        n: int,
+        column_groups: list[tuple[str, ...]],
+    ) -> QueryExecutionPlan:
+        """Backup strategy: no overcollection, passive replicas instead.
+
+        Each Data Processor operator gets ``backup_replicas`` standby
+        operators carrying the same parameters plus a ``backup_rank``;
+        the executor promotes them on primary failure.
+        """
+        replicas = self.resiliency.backup_replicas
+        plan = QueryExecutionPlan(
+            query_id=spec.query_id,
+            metadata={
+                "kind": spec.kind,
+                "strategy": "backup",
+                "backup_replicas": replicas,
+                "overcollection": OvercollectionConfig(
+                    n=n, m=0, snapshot_cardinality=spec.snapshot_cardinality
+                ).to_dict(),
+                "column_groups": [list(group) for group in column_groups],
+                "collected_columns": spec.collected_columns(),
+                "fault_rate": self.resiliency.fault_rate,
+                "target_success": self.resiliency.target_success,
+                "heartbeats": spec.heartbeats if spec.kind == "kmeans" else None,
+                "kmeans_k": spec.kmeans_k if spec.kind == "kmeans" else None,
+                "group_by": spec.group_by.to_dict() if spec.group_by else None,
+                "feature_columns": list(spec.feature_columns),
+            },
+        )
+        builders = []
+        for i in range(n):
+            for rank in range(replicas + 1):
+                suffix = "" if rank == 0 else f".b{rank}"
+                builder = plan.new_operator(
+                    OperatorRole.SNAPSHOT_BUILDER,
+                    params={"partition_index": i, "backup_rank": rank},
+                    op_id=f"builder[{i}]{suffix}",
+                )
+                if rank == 0:
+                    builders.append(builder)
+        primary_builder_ids = [b.op_id for b in builders]
+        for contributor in contributors:
+            leaf = plan.new_operator(
+                OperatorRole.DATA_CONTRIBUTOR,
+                params={"device": contributor},
+                op_id=f"contrib[{contributor}]",
+            )
+            target = contributor_builder(contributor, primary_builder_ids, spec.query_id)
+            plan.connect(leaf, target)
+            for rank in range(1, replicas + 1):
+                plan.connect(leaf, f"{target}.b{rank}")
+
+        combiner = plan.new_operator(OperatorRole.COMPUTING_COMBINER, op_id="combiner")
+        backup = plan.new_operator(
+            OperatorRole.ACTIVE_BACKUP,
+            params={"mirrors": combiner.op_id},
+            op_id="combiner-backup",
+        )
+        querier = plan.new_operator(OperatorRole.QUERIER, op_id="querier")
+
+        query = spec.group_by
+        for i in range(n):
+            for g, group in enumerate(column_groups):
+                for rank in range(replicas + 1):
+                    suffix = "" if rank == 0 else f".b{rank}"
+                    params: dict[str, Any] = {
+                        "partition_index": i,
+                        "group_index": g,
+                        "column_group": list(group),
+                        "backup_rank": rank,
+                    }
+                    if spec.kind == "aggregate":
+                        aggregate_indices = self._aggregates_for_group(query, group)
+                        if g == 0:
+                            aggregate_indices = sorted(
+                                set(aggregate_indices)
+                                | {
+                                    idx
+                                    for idx, agg in enumerate(query.aggregates)
+                                    if agg.column is None
+                                }
+                            )
+                        params["aggregate_indices"] = aggregate_indices
+                    else:
+                        params["kmeans_k"] = spec.kmeans_k
+                    computer = plan.new_operator(
+                        OperatorRole.COMPUTER, params=params,
+                        op_id=f"computer[{i},g{g}]{suffix}",
+                    )
+                    for builder_rank in range(replicas + 1):
+                        builder_suffix = "" if builder_rank == 0 else f".b{builder_rank}"
+                        plan.connect(f"builder[{i}]{builder_suffix}", computer)
+                    plan.connect(computer, combiner)
+                    plan.connect(computer, backup)
+        plan.connect(combiner, querier)
+        plan.connect(backup, querier)
+        return plan

@@ -1,0 +1,125 @@
+"""Resiliency mathematics of the Overcollection strategy.
+
+Overcollection distributes a distributive operator over ``n + m``
+edgelets, each processing one partition of cardinality ``C / n``.  The
+query is *valid* as long as fewer than ``m`` partitions are lost, i.e.
+at least ``n`` of the ``n + m`` survive.
+
+Under the paper's fault presumption model, each partition independently
+fails (device crash, disconnection past the deadline, lost messages)
+with probability ``p``.  Survival of at least ``n`` partitions is a
+binomial tail; the planner inverts it to find the smallest ``m``
+achieving a target success probability.  These formulas drive the
+demonstration's Part 1 ("vary the failure probability value … and
+observe automatic changes in the execution plan").
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "partition_survival_probability",
+    "query_success_probability",
+    "minimum_overcollection",
+    "effective_fault_rate",
+]
+
+
+def partition_survival_probability(
+    fault_rate: float, messages_per_partition: int = 1
+) -> float:
+    """Probability that one partition's whole pipeline survives.
+
+    A partition survives only if every message on its path (contribution
+    batch → Snapshot Builder → Computer → Combiner) gets through and the
+    processing edgelets stay up.  With per-event fault probability
+    ``fault_rate`` and ``messages_per_partition`` independent events,
+    survival is ``(1 - fault_rate) ** messages_per_partition``.
+    """
+    if not 0 <= fault_rate <= 1:
+        raise ValueError("fault_rate must be in [0, 1]")
+    if messages_per_partition < 1:
+        raise ValueError("messages_per_partition must be >= 1")
+    return (1.0 - fault_rate) ** messages_per_partition
+
+
+def query_success_probability(n: int, m: int, fault_rate: float) -> float:
+    """P[at least n of n + m partitions survive], partitions i.i.d.
+
+    This is the binomial survival function
+    ``sum_{k=n}^{n+m} C(n+m, k) * s^k * (1-s)^(n+m-k)`` with
+    ``s = 1 - fault_rate``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    if not 0 <= fault_rate <= 1:
+        raise ValueError("fault_rate must be in [0, 1]")
+    survive = 1.0 - fault_rate
+    total = n + m
+    probability = 0.0
+    for k in range(n, total + 1):
+        probability += (
+            math.comb(total, k) * survive**k * (1.0 - survive) ** (total - k)
+        )
+    return min(probability, 1.0)
+
+
+def minimum_overcollection(
+    n: int,
+    fault_rate: float,
+    target_success: float = 0.99,
+    max_m: int = 10_000,
+) -> int:
+    """Smallest ``m`` such that the query succeeds with probability at
+    least ``target_success`` under the given fault rate.
+
+    Raises ``ValueError`` if no ``m <= max_m`` reaches the target (e.g.
+    ``fault_rate`` so high the target is unreachable).
+    """
+    if not 0 < target_success < 1:
+        raise ValueError("target_success must be in (0, 1)")
+    if not 0 <= fault_rate < 1:
+        raise ValueError("fault_rate must be in [0, 1)")
+    for m in range(max_m + 1):
+        if query_success_probability(n, m, fault_rate) >= target_success:
+            return m
+    raise ValueError(
+        f"no overcollection degree up to {max_m} reaches success "
+        f"{target_success} with n={n}, fault_rate={fault_rate}"
+    )
+
+
+def effective_fault_rate(
+    crash_probability_per_tick: float,
+    disconnect_probability_per_tick: float,
+    ticks_to_deadline: float,
+    reconnect_covers: float = 0.5,
+) -> float:
+    """Fold a failure-injection context into one fault presumption rate.
+
+    Per simulator tick a device crashes with ``crash_probability`` and
+    disconnects with ``disconnect_probability``; a disconnection only
+    loses the partition if the device stays offline across its send
+    window, which ``reconnect_covers`` (the fraction of disconnections
+    healed in time by store-and-forward) discounts.
+
+    This is a presumption (the planner cannot observe the future) — the
+    Q-RES experiment checks that plans built from it meet their target.
+    """
+    if ticks_to_deadline < 0:
+        raise ValueError("ticks_to_deadline must be non-negative")
+    if not 0 <= reconnect_covers <= 1:
+        raise ValueError("reconnect_covers must be in [0, 1]")
+    for name, probability in (
+        ("crash_probability_per_tick", crash_probability_per_tick),
+        ("disconnect_probability_per_tick", disconnect_probability_per_tick),
+    ):
+        if not 0 <= probability <= 1:
+            raise ValueError(f"{name} must be in [0, 1]")
+    survive_crashes = (1.0 - crash_probability_per_tick) ** ticks_to_deadline
+    harmful_disconnect = disconnect_probability_per_tick * (1.0 - reconnect_covers)
+    survive_disconnects = (1.0 - harmful_disconnect) ** ticks_to_deadline
+    return 1.0 - survive_crashes * survive_disconnects

@@ -1,0 +1,246 @@
+"""Core cryptographic primitives (simulation grade).
+
+Everything here is deterministic given its inputs, which makes protocol
+traces reproducible in the discrete-event simulator.  The primitives
+mirror the shapes of their real-world counterparts:
+
+* :func:`secure_hash` / :func:`hmac_digest` — SHA-256 based digests.
+* :func:`encrypt` / :func:`decrypt` — authenticated encryption with a
+  SHA-256 counter-mode keystream and an HMAC tag (encrypt-then-MAC).
+* :func:`generate_keypair`, :func:`sign`, :func:`verify` — Schnorr-style
+  signatures over a published safe-prime group.
+* :func:`diffie_hellman_shared` — classic DH key agreement in the same
+  group, used to derive pairwise edgelet session keys.
+* :func:`hkdf` — extract-and-expand key derivation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import secrets
+from dataclasses import dataclass
+
+__all__ = [
+    "AuthenticationError",
+    "KeyPair",
+    "SymmetricKey",
+    "decrypt",
+    "derive_key",
+    "diffie_hellman_shared",
+    "encrypt",
+    "generate_keypair",
+    "hkdf",
+    "hmac_digest",
+    "secure_hash",
+    "sign",
+    "verify",
+]
+
+# A 1536-bit MODP safe prime (RFC 3526 group 5) with generator 2.  Small
+# enough to keep simulated handshakes fast, large enough that the group
+# arithmetic code path matches a realistic implementation.
+GROUP_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+    16,
+)
+GROUP_GENERATOR = 2
+GROUP_ORDER = (GROUP_PRIME - 1) // 2
+
+TAG_SIZE = 32
+KEY_SIZE = 32
+NONCE_SIZE = 16
+_BLOCK = hashlib.sha256().digest_size
+
+
+class AuthenticationError(Exception):
+    """Raised when a ciphertext, tag, or signature fails verification."""
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A 256-bit symmetric key with separate encryption/MAC subkeys."""
+
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.material) != KEY_SIZE:
+            raise ValueError(
+                f"symmetric keys must be {KEY_SIZE} bytes, got {len(self.material)}"
+            )
+
+    @property
+    def enc_key(self) -> bytes:
+        """Subkey used for the keystream (domain-separated)."""
+        return hkdf(self.material, b"edgelet-enc", KEY_SIZE)
+
+    @property
+    def mac_key(self) -> bytes:
+        """Subkey used for the authentication tag (domain-separated)."""
+        return hkdf(self.material, b"edgelet-mac", KEY_SIZE)
+
+    @classmethod
+    def random(cls) -> "SymmetricKey":
+        """Generate a fresh random key."""
+        return cls(secrets.token_bytes(KEY_SIZE))
+
+    @classmethod
+    def from_passphrase(cls, passphrase: str) -> "SymmetricKey":
+        """Derive a key deterministically from a passphrase (tests/demos)."""
+        return cls(hkdf(passphrase.encode("utf-8"), b"edgelet-passphrase", KEY_SIZE))
+
+    def fingerprint(self) -> str:
+        """Short hex identifier safe to log (does not reveal the key)."""
+        return secure_hash(b"fp" + self.material)[:16]
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A Schnorr-style key pair over the published group.
+
+    ``private`` is an exponent in ``[1, GROUP_ORDER)``; ``public`` is
+    ``g^private mod p``.  The public part doubles as the edgelet's
+    identity for secure operator assignment (the planner hashes it).
+    """
+
+    private: int
+    public: int
+
+    def public_bytes(self) -> bytes:
+        """Serialize the public key for hashing and wire transfer."""
+        return self.public.to_bytes((GROUP_PRIME.bit_length() + 7) // 8, "big")
+
+    def fingerprint(self) -> str:
+        """Short hex identifier of the public key."""
+        return secure_hash(self.public_bytes())[:16]
+
+
+def secure_hash(data: bytes) -> str:
+    """Return the SHA-256 hex digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hmac_digest(key: bytes, data: bytes) -> bytes:
+    """Return the HMAC-SHA256 of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf(ikm: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-SHA256 (RFC 5869) with an all-zero salt.
+
+    ``ikm`` is the input keying material, ``info`` the context string,
+    and ``length`` the number of output bytes (at most ``255 * 32``).
+    """
+    if not 0 < length <= 255 * _BLOCK:
+        raise ValueError("requested HKDF output length out of range")
+    prk = _hmac.new(b"\x00" * _BLOCK, ikm, hashlib.sha256).digest()
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = _hmac.new(prk, previous + info + bytes([counter]), hashlib.sha256).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def derive_key(shared_secret: bytes, context: str) -> SymmetricKey:
+    """Derive a :class:`SymmetricKey` from a shared secret and context."""
+    return SymmetricKey(hkdf(shared_secret, context.encode("utf-8"), KEY_SIZE))
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode keystream of ``length`` bytes."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def encrypt(key: SymmetricKey, plaintext: bytes, associated_data: bytes = b"") -> bytes:
+    """Authenticated encryption (encrypt-then-MAC).
+
+    Layout of the returned blob: ``nonce || ciphertext || tag`` where the
+    tag authenticates ``nonce || associated_data || ciphertext``.
+    """
+    nonce = secrets.token_bytes(NONCE_SIZE)
+    stream = _keystream(key.enc_key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac_digest(key.mac_key, nonce + associated_data + ciphertext)
+    return nonce + ciphertext + tag
+
+
+def decrypt(key: SymmetricKey, blob: bytes, associated_data: bytes = b"") -> bytes:
+    """Verify and decrypt a blob produced by :func:`encrypt`.
+
+    Raises :class:`AuthenticationError` if the tag does not verify —
+    callers must treat that as a hard protocol failure, never as data.
+    """
+    if len(blob) < NONCE_SIZE + TAG_SIZE:
+        raise AuthenticationError("ciphertext too short")
+    nonce = blob[:NONCE_SIZE]
+    ciphertext = blob[NONCE_SIZE:-TAG_SIZE]
+    tag = blob[-TAG_SIZE:]
+    expected = hmac_digest(key.mac_key, nonce + associated_data + ciphertext)
+    if not _hmac.compare_digest(tag, expected):
+        raise AuthenticationError("authentication tag mismatch")
+    stream = _keystream(key.enc_key, nonce, len(ciphertext))
+    return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+
+def generate_keypair(seed: bytes | None = None) -> KeyPair:
+    """Generate a key pair; a ``seed`` makes it deterministic (tests)."""
+    if seed is None:
+        private = secrets.randbelow(GROUP_ORDER - 1) + 1
+    else:
+        private = int.from_bytes(hkdf(seed, b"edgelet-keygen", 48), "big") % (GROUP_ORDER - 1) + 1
+    return KeyPair(private=private, public=pow(GROUP_GENERATOR, private, GROUP_PRIME))
+
+
+def diffie_hellman_shared(own: KeyPair, peer_public: int) -> bytes:
+    """Compute the DH shared secret between ``own`` and a peer public key."""
+    if not 1 < peer_public < GROUP_PRIME - 1:
+        raise ValueError("peer public key outside the group")
+    shared = pow(peer_public, own.private, GROUP_PRIME)
+    return shared.to_bytes((GROUP_PRIME.bit_length() + 7) // 8, "big")
+
+
+def _schnorr_challenge(public: int, commitment: int, message: bytes) -> int:
+    payload = (
+        public.to_bytes(192, "big") + commitment.to_bytes(192, "big") + message
+    )
+    return int.from_bytes(hashlib.sha256(payload).digest(), "big") % GROUP_ORDER
+
+
+def sign(keypair: KeyPair, message: bytes) -> tuple[int, int]:
+    """Produce a Schnorr signature ``(commitment, response)``.
+
+    The nonce is derived deterministically from the private key and the
+    message (RFC 6979 style) so signing is reproducible and never leaks
+    through nonce reuse.
+    """
+    nonce_seed = keypair.private.to_bytes(192, "big") + message
+    k = int.from_bytes(hkdf(nonce_seed, b"edgelet-sign-nonce", 48), "big") % (GROUP_ORDER - 1) + 1
+    commitment = pow(GROUP_GENERATOR, k, GROUP_PRIME)
+    challenge = _schnorr_challenge(keypair.public, commitment, message)
+    response = (k + challenge * keypair.private) % GROUP_ORDER
+    return commitment, response
+
+
+def verify(public: int, message: bytes, signature: tuple[int, int]) -> bool:
+    """Check a Schnorr signature against ``public`` and ``message``."""
+    commitment, response = signature
+    if not (1 < public < GROUP_PRIME - 1 and 0 < commitment < GROUP_PRIME and 0 <= response < GROUP_ORDER):
+        return False
+    challenge = _schnorr_challenge(public, commitment, message)
+    lhs = pow(GROUP_GENERATOR, response, GROUP_PRIME)
+    rhs = (commitment * pow(public, challenge, GROUP_PRIME)) % GROUP_PRIME
+    return lhs == rhs

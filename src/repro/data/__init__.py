@@ -1,0 +1,21 @@
+"""Synthetic personal-data generators.
+
+Substitutes for the data the paper works with: DomYcile medical records
+(8,000 elderly people receiving home care in the Yvelines district) and
+audience data for the opportunistic-polling use case.  Generators are
+seeded and deterministic so experiments are reproducible.
+"""
+
+from repro.data.health import HEALTH_SCHEMA, generate_health_rows, health_feature_matrix
+from repro.data.polling import POLLING_SCHEMA, generate_polling_rows
+from repro.data.generators import SeededMixture, distribute_rows_to_devices
+
+__all__ = [
+    "HEALTH_SCHEMA",
+    "POLLING_SCHEMA",
+    "SeededMixture",
+    "distribute_rows_to_devices",
+    "generate_health_rows",
+    "generate_polling_rows",
+    "health_feature_matrix",
+]

@@ -1,0 +1,90 @@
+"""CSV import/export for relations.
+
+A library a downstream user adopts needs to get data in and out.  These
+helpers read and write :class:`~repro.query.relation.Relation` objects
+as CSV with schema-driven type parsing (the CSV text ``"70"`` becomes
+the INT ``70`` when the schema says so; empty cells become NULL).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.query.relation import Relation
+from repro.query.schema import ColumnType, Schema, SchemaError
+
+__all__ = ["load_relation_csv", "save_relation_csv"]
+
+
+def _parse_cell(raw: str, ctype: ColumnType) -> Any:
+    if raw == "":
+        return None
+    if ctype == ColumnType.INT:
+        return int(raw)
+    if ctype == ColumnType.FLOAT:
+        return float(raw)
+    if ctype == ColumnType.BOOL:
+        lowered = raw.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise SchemaError(f"cannot parse {raw!r} as a boolean")
+    return raw
+
+
+def _render_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def save_relation_csv(relation: Relation, path: str | Path) -> int:
+    """Write a relation to ``path``; returns the number of data rows."""
+    columns = relation.schema.column_names
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in relation:
+            writer.writerow([_render_cell(row.get(column)) for column in columns])
+            count += 1
+    return count
+
+
+def load_relation_csv(schema: Schema, path: str | Path) -> Relation:
+    """Read a CSV written by :func:`save_relation_csv` (or compatible).
+
+    The header must list a subset of the schema's columns (any order);
+    unknown header names raise :class:`SchemaError`.  Cells are parsed
+    according to the schema's column types; empty cells load as NULL.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return Relation(schema)
+        for name in header:
+            if not schema.has_column(name):
+                raise SchemaError(f"CSV header has unknown column {name!r}")
+        types = [schema.column(name).ctype for name in header]
+        rows = []
+        for line_number, cells in enumerate(reader, start=2):
+            if not cells:
+                continue  # blank line (e.g. trailing newline)
+            if len(cells) != len(header):
+                raise SchemaError(
+                    f"line {line_number}: expected {len(header)} cells, "
+                    f"got {len(cells)}"
+                )
+            row = {
+                name: _parse_cell(cell, ctype)
+                for name, cell, ctype in zip(header, cells, types)
+            }
+            rows.append(row)
+    return Relation(schema, rows)

@@ -1,0 +1,39 @@
+"""TEE-enabled personal device substrate.
+
+Models the heterogeneous hardware of the demonstration — PCs with Intel
+SGX, smartphones with ARM TrustZone, DomYcile home boxes with an
+STM32+TPM — at the level of the *guarantees* they provide:
+
+* :mod:`repro.devices.tee` — the trusted execution environment
+  abstraction (measurement, attestation quotes, sealed storage, and the
+  "sealed glass" side-channel compromise mode);
+* :mod:`repro.devices.profiles` — performance/availability profiles per
+  device class;
+* :mod:`repro.devices.attestation` — the remote attestation protocol
+  used before any operator assignment;
+* :mod:`repro.devices.datastore` — the owner's local personal datastore
+  (the µ-SD card of the home box);
+* :mod:`repro.devices.edgelet` — the edgelet device tying it together.
+"""
+
+from repro.devices.tee import TEEKind, TrustedExecutionEnvironment, SealedGlassObserver
+from repro.devices.profiles import DeviceProfile, HOME_BOX, PC_SGX, SMARTPHONE, profile_by_name
+from repro.devices.attestation import AttestationAuthority, AttestationError, Quote
+from repro.devices.datastore import LocalDatastore
+from repro.devices.edgelet import Edgelet
+
+__all__ = [
+    "AttestationAuthority",
+    "AttestationError",
+    "DeviceProfile",
+    "Edgelet",
+    "HOME_BOX",
+    "LocalDatastore",
+    "PC_SGX",
+    "Quote",
+    "SMARTPHONE",
+    "SealedGlassObserver",
+    "TEEKind",
+    "TrustedExecutionEnvironment",
+    "profile_by_name",
+]

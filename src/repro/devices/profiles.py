@@ -1,0 +1,102 @@
+"""Device performance and availability profiles.
+
+The demonstration platform mixes a laptop with SGX, TrustZone
+smartphones, and STM32-based home boxes.  For the execution model what
+matters is their *relative* compute speed, link quality, and propensity
+to be offline — captured here as :class:`DeviceProfile` constants
+calibrated from the hardware the paper lists (Core i5-9400H vs.
+STM32F417, caregiver-carried boxes vs. always-on laptops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.tee import TEEKind
+from repro.network.topology import LinkQuality
+
+__all__ = ["DeviceProfile", "PC_SGX", "SMARTPHONE", "HOME_BOX", "profile_by_name"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static characteristics of one device class.
+
+    Attributes:
+        name: human-readable class name.
+        tee_kind: which TEE family the class carries.
+        compute_rate: abstract work units per virtual second; the
+            executor divides operator workloads by this to get compute
+            latency.
+        link: default link quality of the device's radio.
+        availability: long-run fraction of time the device is reachable
+            (used by stochastic scenario generators).
+        storage_tuples: capacity of the local datastore in tuples.
+    """
+
+    name: str
+    tee_kind: TEEKind
+    compute_rate: float
+    link: LinkQuality
+    availability: float
+    storage_tuples: int
+
+    def __post_init__(self) -> None:
+        if self.compute_rate <= 0:
+            raise ValueError("compute_rate must be positive")
+        if not 0 < self.availability <= 1:
+            raise ValueError("availability must be in (0, 1]")
+        if self.storage_tuples <= 0:
+            raise ValueError("storage_tuples must be positive")
+
+    def compute_latency(self, work_units: float) -> float:
+        """Virtual seconds needed to perform ``work_units`` of work."""
+        if work_units < 0:
+            raise ValueError("work_units must be non-negative")
+        return work_units / self.compute_rate
+
+
+#: Laptop with Intel SGX (Core i5-9400H in the paper): fast, reliable.
+PC_SGX = DeviceProfile(
+    name="pc-sgx",
+    tee_kind=TEEKind.SGX,
+    compute_rate=10_000.0,
+    link=LinkQuality(base_latency=0.05, latency_jitter=0.2, loss_probability=0.01,
+                     bandwidth=1_250_000.0),
+    availability=0.99,
+    storage_tuples=1_000_000,
+)
+
+#: TrustZone smartphone: mid compute, mobile connectivity.
+SMARTPHONE = DeviceProfile(
+    name="smartphone-trustzone",
+    tee_kind=TEEKind.TRUSTZONE,
+    compute_rate=3_000.0,
+    link=LinkQuality(base_latency=0.3, latency_jitter=0.5, loss_probability=0.05,
+                     bandwidth=500_000.0),
+    availability=0.85,
+    storage_tuples=200_000,
+)
+
+#: DomYcile home box (STM32F417 + TPM + µ-SD): slow, opportunistically
+#: connected by visiting caregivers.
+HOME_BOX = DeviceProfile(
+    name="home-box-tpm",
+    tee_kind=TEEKind.TPM,
+    compute_rate=150.0,
+    link=LinkQuality(base_latency=5.0, latency_jitter=0.8, loss_probability=0.10,
+                     bandwidth=50_000.0),
+    availability=0.40,
+    storage_tuples=20_000,
+)
+
+_PROFILES = {profile.name: profile for profile in (PC_SGX, SMARTPHONE, HOME_BOX)}
+
+
+def profile_by_name(name: str) -> DeviceProfile:
+    """Look up a built-in profile by its ``name`` field."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise KeyError(f"unknown device profile {name!r}; known: {known}") from None

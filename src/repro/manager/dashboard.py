@@ -1,0 +1,188 @@
+"""Textual dashboard: the reproduction's stand-in for the Dash GUI.
+
+The demonstration GUI lets attendees inspect the QEP and follow the
+execution.  This module renders the same information as text:
+
+* :func:`render_plan` — the operator DAG as an indented tree, stage by
+  stage (contributors → builders → computers → combiner → querier),
+  with per-operator parameters and assignments;
+* :func:`render_report` — the execution outcome as a compact scoreboard
+  (tally, network stats, per-phase times, result preview).
+"""
+
+from __future__ import annotations
+
+from repro.core.execution import ExecutionReport
+from repro.core.qep import Operator, OperatorRole, QueryExecutionPlan
+from repro.manager.trace import phase_timeline
+
+__all__ = ["render_plan", "render_report", "render_dot"]
+
+_STAGE_ORDER = (
+    OperatorRole.DATA_CONTRIBUTOR,
+    OperatorRole.SNAPSHOT_BUILDER,
+    OperatorRole.COMPUTER,
+    OperatorRole.COMPUTING_COMBINER,
+    OperatorRole.ACTIVE_BACKUP,
+    OperatorRole.QUERIER,
+)
+
+_STAGE_LABELS = {
+    OperatorRole.DATA_CONTRIBUTOR: "Data Contributors",
+    OperatorRole.SNAPSHOT_BUILDER: "Snapshot Builders",
+    OperatorRole.COMPUTER: "Computers",
+    OperatorRole.COMPUTING_COMBINER: "Computing Combiner",
+    OperatorRole.ACTIVE_BACKUP: "Active Backup",
+    OperatorRole.QUERIER: "Querier",
+}
+
+
+def _describe_operator(plan: QueryExecutionPlan, operator: Operator) -> str:
+    bits = []
+    partition = operator.params.get("partition_index")
+    if partition is not None:
+        bits.append(f"partition {partition}")
+    group = operator.params.get("column_group")
+    if group:
+        bits.append("cols[" + ",".join(group) + "]")
+    rank = operator.params.get("backup_rank")
+    if rank:
+        bits.append(f"replica rank {rank}")
+    if operator.assigned_to:
+        bits.append(f"@ {operator.assigned_to}")
+    fan_in = plan.fan_in(operator.op_id)
+    fan_out = plan.fan_out(operator.op_id)
+    bits.append(f"in={fan_in} out={fan_out}")
+    return f"{operator.op_id}  ({'; '.join(bits)})"
+
+
+def render_plan(
+    plan: QueryExecutionPlan, max_per_stage: int = 8
+) -> str:
+    """Render the plan as a staged tree.
+
+    ``max_per_stage`` elides long stages (thousands of contributors)
+    with a ``... and N more`` line, like the GUI's grouped view.
+    """
+    lines = [f"QEP {plan.query_id}  [{plan.metadata.get('strategy', '?')}]"]
+    overcollection = plan.metadata.get("overcollection")
+    if overcollection:
+        lines.append(
+            f"  overcollection: n={overcollection['n']} m={overcollection['m']} "
+            f"C={overcollection['snapshot_cardinality']}"
+        )
+    groups = plan.metadata.get("column_groups") or []
+    if len(groups) > 1:
+        lines.append(f"  vertical groups: {['|'.join(g) for g in groups]}")
+    for role in _STAGE_ORDER:
+        operators = plan.operators(role)
+        if not operators:
+            continue
+        lines.append(f"  {_STAGE_LABELS[role]} ({len(operators)})")
+        for operator in operators[:max_per_stage]:
+            lines.append(f"    {_describe_operator(plan, operator)}")
+        if len(operators) > max_per_stage:
+            lines.append(f"    ... and {len(operators) - max_per_stage} more")
+    return "\n".join(lines)
+
+
+def render_report(report: ExecutionReport, result_rows: int = 5) -> str:
+    """Render an execution report as a scoreboard."""
+    lines = [
+        f"Execution {report.query_id}: "
+        f"{'SUCCESS' if report.success else 'FAILURE'}",
+    ]
+    timeline = phase_timeline(report)
+    lines.append(
+        "  phases: collection end "
+        f"{_fmt(timeline['collection_end'])}, computation start "
+        f"{_fmt(timeline['computation_start'])}, completion "
+        f"{_fmt(timeline['completion'])}"
+    )
+    if report.tally:
+        lines.append(
+            f"  tally: received {report.tally.get('received')}"
+            f"/{report.tally.get('n', 0) + report.tally.get('m', 0)} "
+            f"partitions, valid={report.tally.get('valid')}"
+        )
+    if report.delivered_by:
+        lines.append(f"  delivered by: {report.delivered_by}")
+    if report.network_stats:
+        lines.append(
+            f"  network: {report.network_stats.get('sent', 0):.0f} sent, "
+            f"ratio {report.network_stats.get('delivery_ratio', 0.0):.2f}, "
+            f"{report.network_stats.get('bytes_sent', 0):.0f} bytes"
+        )
+    if report.result is not None:
+        rows = report.result.all_rows()
+        lines.append(f"  result: {len(rows)} rows")
+        for row in rows[:result_rows]:
+            lines.append(f"    {row}")
+        if len(rows) > result_rows:
+            lines.append(f"    ... and {len(rows) - result_rows} more")
+    if report.kmeans is not None:
+        lines.append(
+            f"  kmeans: {report.kmeans.centroids.shape[0]} centroids from "
+            f"{report.kmeans.knowledges_merged} knowledges, "
+            f"{report.heartbeats_run} heartbeats"
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"t={value:.1f}"
+
+
+_DOT_COLORS = {
+    OperatorRole.DATA_CONTRIBUTOR: "lightgrey",
+    OperatorRole.SNAPSHOT_BUILDER: "lightblue",
+    OperatorRole.COMPUTER: "lightgreen",
+    OperatorRole.COMPUTING_COMBINER: "orange",
+    OperatorRole.ACTIVE_BACKUP: "gold",
+    OperatorRole.QUERIER: "pink",
+}
+
+
+def render_dot(plan: QueryExecutionPlan, max_contributors: int = 12) -> str:
+    """Render the plan as Graphviz DOT (the GUI's visual QEP, offline).
+
+    When the plan has more than ``max_contributors`` Data Contributor
+    leaves they are collapsed into one summary node, like the grouped
+    view of the demonstration GUI.
+    """
+    lines = [
+        "digraph qep {",
+        "  rankdir=BT;",
+        f'  label="{plan.query_id}";',
+        "  node [style=filled, shape=box];",
+    ]
+    contributors = plan.operators(OperatorRole.DATA_CONTRIBUTOR)
+    collapse = len(contributors) > max_contributors
+    if collapse:
+        lines.append(
+            f'  contributors [label="{len(contributors)} Data Contributors", '
+            f"fillcolor={_DOT_COLORS[OperatorRole.DATA_CONTRIBUTOR]}];"
+        )
+    for operator in plan.operators():
+        if collapse and operator.role == OperatorRole.DATA_CONTRIBUTOR:
+            continue
+        color = _DOT_COLORS[operator.role]
+        label = operator.op_id
+        if operator.assigned_to:
+            label += f"\\n@{operator.assigned_to}"
+        lines.append(
+            f'  "{operator.op_id}" [label="{label}", fillcolor={color}];'
+        )
+    seen_collapsed: set[str] = set()
+    for producer_id, consumer_id in plan.edges():
+        producer = plan.operator(producer_id)
+        if collapse and producer.role == OperatorRole.DATA_CONTRIBUTOR:
+            if consumer_id not in seen_collapsed:
+                seen_collapsed.add(consumer_id)
+                lines.append(f'  contributors -> "{consumer_id}";')
+            continue
+        lines.append(f'  "{producer_id}" -> "{consumer_id}";')
+    lines.append("}")
+    return "\n".join(lines)

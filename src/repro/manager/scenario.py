@@ -1,0 +1,336 @@
+"""End-to-end scenario orchestration.
+
+A :class:`Scenario` assembles every substrate — devices, network,
+failures, data — and runs Edgelet queries over it, mirroring the
+demonstration flow: configure, plan, execute, observe, verify.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.assignment import assign_operators
+from repro.core.backup_execution import BackupExecutor
+from repro.core.execution import EdgeletExecutor, ExecutionReport
+from repro.core.liability import LiabilityReport, measure_liability
+from repro.core.planner import (
+    EdgeletPlanner,
+    PrivacyParameters,
+    QuerySpec,
+    ResiliencyParameters,
+)
+from repro.core.privacy import ExposureReport, measure_exposure
+from repro.core.qep import OperatorRole, QueryExecutionPlan
+from repro.devices.attestation import AttestationAuthority, AttestationError
+from repro.devices.edgelet import Edgelet
+from repro.devices.profiles import DeviceProfile, HOME_BOX, PC_SGX, SMARTPHONE
+from repro.devices.tee import SealedGlassObserver
+from repro.data.generators import distribute_rows_to_devices
+from repro.network.failures import FailureInjector
+from repro.network.mobility import CaregiverRounds
+from repro.network.opnet import NetworkConfig, OpportunisticNetwork
+from repro.network.simulator import Simulator
+from repro.network.topology import ContactGraph
+from repro.query.engine import CentralizedEngine
+from repro.query.relation import Relation
+from repro.query.schema import Schema
+
+__all__ = ["ScenarioConfig", "Scenario", "ScenarioResult"]
+
+_scenario_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Declarative description of one demonstration scenario.
+
+    Attributes:
+        n_contributors: simulated Data Contributor devices.
+        n_processors: extra devices eligible for Data Processor roles.
+        device_mix: (pc, smartphone, home_box) proportions.
+        rows: the synthetic dataset dealt out to contributors.
+        schema: common schema of the shared database.
+        rows_per_device: (min, max) owner records per device.
+        crash_probability: per-tick crash probability (failure slider).
+        disconnect_probability: per-tick disconnection probability.
+        disconnect_duration: offline window length in virtual seconds.
+        message_loss: extra i.i.d. message-loss probability.
+        collection_window: virtual seconds for the collection phase.
+        deadline: virtual query deadline.
+        secure_channels: seal payloads in authenticated envelopes.
+        compromised_processors: number of processing TEEs degraded to
+            sealed-glass mode (privacy experiments).
+        rogue_processors: number of processing devices running a
+            *non-genuine* runtime (their TEE measurement differs);
+            attestation-gated scenarios must exclude them.
+        require_attestation: attest every processor before assignment
+            and exclude devices that fail.
+        caregiver_period: when set, contributors follow a DomYcile-style
+            caregiver-rounds schedule (online only during visits of
+            ``caregiver_visit`` seconds every ``caregiver_period``).
+        caregiver_visit: visit duration for the rounds schedule.
+        seed: master randomness seed.
+    """
+
+    n_contributors: int
+    n_processors: int
+    rows: list[dict[str, Any]]
+    schema: Schema
+    device_mix: tuple[float, float, float] = (0.3, 0.4, 0.3)
+    rows_per_device: tuple[int, int] = (1, 3)
+    crash_probability: float = 0.0
+    disconnect_probability: float = 0.0
+    disconnect_duration: float = 10.0
+    message_loss: float = 0.0
+    collection_window: float = 30.0
+    deadline: float = 100.0
+    secure_channels: bool = False
+    compromised_processors: int = 0
+    rogue_processors: int = 0
+    require_attestation: bool = False
+    caregiver_period: float | None = None
+    caregiver_visit: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_contributors <= 0:
+            raise ValueError("n_contributors must be positive")
+        if self.n_processors <= 0:
+            raise ValueError("n_processors must be positive")
+        if len(self.device_mix) != 3 or sum(self.device_mix) <= 0:
+            raise ValueError("device_mix must be 3 non-negative weights")
+        if self.compromised_processors < 0:
+            raise ValueError("compromised_processors must be non-negative")
+        if not 0 <= self.rogue_processors <= self.n_processors:
+            raise ValueError("rogue_processors must be within the processor pool")
+        if self.caregiver_period is not None:
+            if self.caregiver_period <= 0:
+                raise ValueError("caregiver_period must be positive")
+            if not 0 < self.caregiver_visit <= self.caregiver_period:
+                raise ValueError(
+                    "caregiver_visit must be in (0, caregiver_period]"
+                )
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario execution.
+
+    Attributes:
+        report: the executor's detailed report.
+        plan: the executed plan.
+        exposure: plan-level privacy exposure bounds.
+        liability: crowd-liability distribution.
+        verification: filled by
+            :func:`repro.manager.verification.verify_against_centralized`.
+    """
+
+    report: ExecutionReport
+    plan: QueryExecutionPlan
+    exposure: ExposureReport | None = None
+    liability: LiabilityReport | None = None
+    verification: Any = None
+
+
+class Scenario:
+    """A configured swarm ready to run Edgelet queries."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self.scenario_id = next(_scenario_ids)
+        self._rng = random.Random(config.seed)
+        self.simulator = Simulator()
+        self.observer = SealedGlassObserver()
+        self.authority = AttestationAuthority()
+        self.contributors: list[Edgelet] = []
+        self.processors: list[Edgelet] = []
+        self.querier_device: Edgelet | None = None
+        self.devices: dict[str, Edgelet] = {}
+        self._build_swarm()
+        self._deal_data()
+        self.network = self._build_network()
+        self.injector: FailureInjector | None = None
+        self.engine = CentralizedEngine()
+        self.engine.register("data", Relation(config.schema, config.rows))
+
+    # -- construction ----------------------------------------------------------
+
+    def _pick_profile(self) -> DeviceProfile:
+        pc, phone, box = self.config.device_mix
+        total = pc + phone + box
+        roll = self._rng.random() * total
+        if roll < pc:
+            return PC_SGX
+        if roll < pc + phone:
+            return SMARTPHONE
+        return HOME_BOX
+
+    def _build_swarm(self) -> None:
+        config = self.config
+        for index in range(config.n_contributors):
+            device = Edgelet(
+                self._pick_profile(),
+                device_id=f"s{self.scenario_id}-contrib-{index:05d}",
+                seed=f"s{self.scenario_id}-contrib-{index}-{config.seed}".encode(),
+            )
+            self.contributors.append(device)
+        for index in range(config.n_processors):
+            rogue = index < config.rogue_processors
+            device = Edgelet(
+                self._pick_profile(),
+                device_id=f"s{self.scenario_id}-proc-{index:05d}",
+                seed=f"s{self.scenario_id}-proc-{index}-{config.seed}".encode(),
+                code_identity="rogue-runtime" if rogue else "edgelet-runtime-v1",
+            )
+            self.processors.append(device)
+        self.querier_device = Edgelet(
+            PC_SGX,
+            device_id=f"s{self.scenario_id}-querier",
+            seed=f"s{self.scenario_id}-querier-{config.seed}".encode(),
+        )
+        # only the genuine runtime's measurement is trusted; rogue
+        # runtimes have genuine *hardware* (registered keys) but fail
+        # the measurement check — exactly the attestation threat model
+        self.authority.trust_measurement(self.querier_device.tee.measurement)
+        for device in [*self.contributors, *self.processors, self.querier_device]:
+            self.devices[device.device_id] = device
+            self.authority.register_device(device.tee)
+        compromised = self.processors[: config.compromised_processors]
+        for device in compromised:
+            device.compromise(self.observer)
+
+    def _deal_data(self) -> None:
+        allocations = distribute_rows_to_devices(
+            self.config.rows,
+            len(self.contributors),
+            self.config.rows_per_device,
+            seed=self.config.seed,
+        )
+        for device, rows in zip(self.contributors, allocations):
+            for row in rows:
+                self.config.schema.validate_row(row)
+            device.datastore.insert_many(rows)
+
+    def _build_network(self) -> OpportunisticNetwork:
+        topology = ContactGraph.fully_connected([])
+        network_config = NetworkConfig(
+            allow_relay=True,
+            buffer_timeout=self.config.deadline,
+            global_loss_probability=self.config.message_loss,
+        )
+        network = OpportunisticNetwork(
+            self.simulator, topology, network_config, seed=self.config.seed
+        )
+        # Star topology through the querier's venue infrastructure would
+        # be unrealistic; attach devices pairwise-reachable by default
+        # (links are added lazily as a clique over participants).
+        ids = list(self.devices)
+        for device_id in ids:
+            topology.add_device(device_id)
+        for i, a in enumerate(ids):
+            quality = self.devices[a].profile.link
+            for b in ids[i + 1:]:
+                other = self.devices[b].profile.link
+                worse = quality if quality.base_latency >= other.base_latency else other
+                topology.add_link(a, b, worse)
+        return network
+
+    # -- execution ------------------------------------------------------------
+
+    def attest_processors(self) -> list[Edgelet]:
+        """Run the attestation round over every processing edgelet.
+
+        Returns the devices that attested successfully; devices running
+        a non-genuine runtime fail the measurement check and are
+        excluded (the demo would refuse them a Data Processor role).
+        """
+        attested = []
+        for device in self.processors:
+            try:
+                self.authority.attest(device.tee)
+            except AttestationError:
+                continue
+            attested.append(device)
+        return attested
+
+    def run_query(
+        self,
+        spec: QuerySpec,
+        privacy: PrivacyParameters | None = None,
+        resiliency: ResiliencyParameters | None = None,
+        separated_pairs: list[tuple[str, str]] | None = None,
+    ) -> ScenarioResult:
+        """Plan, assign, and execute one query on this scenario."""
+        planner = EdgeletPlanner(privacy=privacy, resiliency=resiliency)
+        plan = planner.plan(
+            spec, contributor_ids=[d.device_id for d in self.contributors]
+        )
+        eligible = (
+            self.attest_processors()
+            if self.config.require_attestation
+            else self.processors
+        )
+        assign_operators(
+            plan,
+            [d.device_id for d in eligible],
+            exclusive=len(eligible)
+            >= sum(1 for op in plan.operators() if op.role.is_data_processor),
+        )
+        querier_op = plan.operators(OperatorRole.QUERIER)[0]
+        querier_op.assigned_to = self.querier_device.device_id
+
+        executor_class = (
+            BackupExecutor
+            if plan.metadata.get("strategy") == "backup" and spec.kind == "aggregate"
+            else EdgeletExecutor
+        )
+        executor = executor_class(
+            simulator=self.simulator,
+            network=self.network,
+            devices=self.devices,
+            plan=plan,
+            collection_window=self.config.collection_window,
+            deadline=self.config.deadline,
+            secure_channels=self.config.secure_channels,
+            seed=self.config.seed,
+        )
+
+        if self.config.caregiver_period is not None:
+            rounds = CaregiverRounds(
+                period=self.config.caregiver_period,
+                visit_duration=self.config.caregiver_visit,
+                seed=self.config.seed + 2,
+            )
+            schedule = rounds.schedule(
+                [d.device_id for d in self.contributors],
+                horizon=self.simulator.now + self.config.deadline,
+            )
+            schedule.install(self.simulator, self.network)
+
+        if self.config.crash_probability > 0 or self.config.disconnect_probability > 0:
+            self.injector = FailureInjector(
+                self.simulator,
+                self.network,
+                device_ids=[d.device_id for d in self.processors],
+                crash_probability=self.config.crash_probability,
+                disconnect_probability=self.config.disconnect_probability,
+                disconnect_duration=self.config.disconnect_duration,
+                seed=self.config.seed + 1,
+            )
+            self.injector.start(until=executor.deadline_at)
+
+        report = executor.run()
+        exposure = measure_exposure(plan, separated_pairs=separated_pairs)
+        liability = measure_liability(plan, tuples_per_device=report.tuples_per_device)
+        return ScenarioResult(
+            report=report, plan=plan, exposure=exposure, liability=liability
+        )
+
+    def centralized_result(self, spec: QuerySpec):
+        """Run the same logical query on the centralized oracle."""
+        if spec.group_by is None:
+            raise ValueError("centralized verification needs a group_by query")
+        return self.engine.execute_logical("data", spec.group_by)

@@ -1,0 +1,113 @@
+"""Multi-query sessions: "a set of queries on population health data".
+
+The demonstration's Querier (Santé Publique France) runs several
+queries, not one.  Crowd liability is then a *cumulative* property: the
+secure assignment reshuffles processors per query id, so over a session
+no device concentrates the processing.  :class:`QuerySession` runs a
+sequence of queries on one scenario and accounts for the cumulative
+liability and energy across them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.cost import EnergyModel, ExecutionCost, measure_execution_cost
+from repro.core.liability import gini_coefficient
+from repro.core.planner import PrivacyParameters, QuerySpec, ResiliencyParameters
+from repro.manager.scenario import Scenario, ScenarioResult
+
+__all__ = ["QuerySession", "SessionSummary"]
+
+
+@dataclass
+class SessionSummary:
+    """Cumulative accounting over a session's executions.
+
+    Attributes:
+        queries_run: number of queries executed.
+        queries_succeeded: how many delivered a final result.
+        operators_per_device: data-processor operators each device ran,
+            summed over all plans of the session.
+        cumulative_gini: Gini coefficient of that distribution — the
+            session-level Crowd Liability measure.
+        max_share: largest single-device share of all operators run.
+        distinct_processors: devices that processed at least once.
+        energy: cumulative per-device energy over the session.
+    """
+
+    queries_run: int = 0
+    queries_succeeded: int = 0
+    operators_per_device: dict[str, int] = field(default_factory=dict)
+    cumulative_gini: float = 0.0
+    max_share: float = 0.0
+    distinct_processors: int = 0
+    energy: ExecutionCost | None = None
+
+
+class QuerySession:
+    """Runs a sequence of queries on one scenario, accumulating stats."""
+
+    def __init__(self, scenario: Scenario, energy_model: EnergyModel | None = None):
+        self.scenario = scenario
+        self.energy_model = energy_model or EnergyModel()
+        self.results: list[ScenarioResult] = []
+
+    def run(
+        self,
+        spec: QuerySpec,
+        privacy: PrivacyParameters | None = None,
+        resiliency: ResiliencyParameters | None = None,
+    ) -> ScenarioResult:
+        """Execute one query and record it in the session."""
+        result = self.scenario.run_query(spec, privacy=privacy, resiliency=resiliency)
+        self.results.append(result)
+        return result
+
+    def run_all(
+        self,
+        specs: list[QuerySpec],
+        privacy: PrivacyParameters | None = None,
+        resiliency: ResiliencyParameters | None = None,
+    ) -> list[ScenarioResult]:
+        """Execute a list of queries back to back."""
+        return [self.run(spec, privacy, resiliency) for spec in specs]
+
+    def summary(self) -> SessionSummary:
+        """Cumulative liability and energy over every query so far."""
+        summary = SessionSummary(queries_run=len(self.results))
+        operators: dict[str, int] = {}
+        tuples: dict[str, int] = {}
+        for result in self.results:
+            if result.report.success:
+                summary.queries_succeeded += 1
+            for operator in result.plan.operators():
+                if operator.role.is_data_processor and operator.assigned_to:
+                    operators[operator.assigned_to] = (
+                        operators.get(operator.assigned_to, 0) + 1
+                    )
+            for device_id, count in result.report.tuples_per_device.items():
+                tuples[device_id] = tuples.get(device_id, 0) + count
+        summary.operators_per_device = operators
+        total = sum(operators.values())
+        summary.cumulative_gini = gini_coefficient(operators.values())
+        summary.max_share = (
+            max(operators.values()) / total if total else 0.0
+        )
+        summary.distinct_processors = len(operators)
+        summary.energy = measure_execution_cost(
+            self.scenario.network, tuples, self.energy_model
+        )
+        return summary
+
+    def processors_used_by_query(self) -> list[set[str]]:
+        """Per-query sets of processing devices (reshuffling evidence)."""
+        return [
+            {
+                operator.assigned_to
+                for operator in result.plan.operators()
+                if operator.role.is_data_processor and operator.assigned_to
+            }
+            for result in self.results
+        ]

@@ -1,0 +1,43 @@
+"""Step-by-step trace rendering.
+
+The demonstration platform "allows the attendees to visualize, step by
+step, the query execution".  Without the Dash GUI we render the same
+information as text: a time-ordered event log and a phase timeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.execution import ExecutionReport
+
+__all__ = ["format_trace", "phase_timeline"]
+
+
+def format_trace(report: ExecutionReport, limit: int | None = None) -> str:
+    """Render the executor's event log as aligned text lines."""
+    events = report.trace if limit is None else report.trace[:limit]
+    lines = [f"t={time:10.3f}  {message}" for time, message in events]
+    if limit is not None and len(report.trace) > limit:
+        lines.append(f"... {len(report.trace) - limit} more events")
+    return "\n".join(lines)
+
+
+def phase_timeline(report: ExecutionReport) -> dict[str, float | None]:
+    """Extract phase boundary times from an execution report.
+
+    Returns the first snapshot-freeze time (collection → computation),
+    the first partial/knowledge-related event, and completion.
+    """
+    collection_end = None
+    computation_start = None
+    for time, message in report.trace:
+        if collection_end is None and "snapshot frozen" in message:
+            collection_end = time
+        if computation_start is None and (
+            "initialized K-Means" in message or "partial" in message
+        ):
+            computation_start = time
+    return {
+        "collection_end": collection_end,
+        "computation_start": computation_start,
+        "completion": report.completion_time,
+    }

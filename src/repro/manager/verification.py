@@ -1,0 +1,71 @@
+"""Centralized verification (Part 2 of the demonstration).
+
+"In order to verify the results, the attendees can take the same dataset
+used with the distributed edgelets and run the processing centrally on
+the demonstration platform."  This module does exactly that: it re-runs
+the logical query on the full dataset and compares.
+
+Two comparisons make sense:
+
+* against the **full dataset** — what a perfect centralized system with
+  access to everything would answer; differences reflect snapshot
+  sampling plus losses;
+* against the **snapshot actually collected** — isolates the effect of
+  losses from the effect of sampling.  For distributive aggregates with
+  no lost partitions this must match *exactly* (the Validity property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.execution import ExecutionReport
+from repro.core.validity import ValidityReport, compare_results
+from repro.query.engine import CentralizedEngine
+from repro.query.groupby import GroupByQuery
+from repro.query.relation import Relation
+
+__all__ = ["VerificationOutcome", "verify_against_centralized"]
+
+
+@dataclass(frozen=True)
+class VerificationOutcome:
+    """Result of a centralized verification run.
+
+    Attributes:
+        validity: the structured comparison report.
+        centralized_rows: number of rows in the centralized result.
+        distributed_rows: number of rows in the distributed result.
+    """
+
+    validity: ValidityReport
+    centralized_rows: int
+    distributed_rows: int
+
+    @property
+    def exact(self) -> bool:
+        """Whether the distributed result matched exactly."""
+        return self.validity.exact_match
+
+
+def verify_against_centralized(
+    report: ExecutionReport,
+    query: GroupByQuery,
+    dataset: Relation,
+) -> VerificationOutcome:
+    """Re-run ``query`` centrally on ``dataset`` and compare.
+
+    ``report`` must be a successful aggregate execution; raises
+    ``ValueError`` otherwise (there is nothing to verify).
+    """
+    if not report.success or report.result is None:
+        raise ValueError("cannot verify a failed or non-aggregate execution")
+    engine = CentralizedEngine()
+    engine.register("verification", dataset)
+    centralized = engine.execute_logical("verification", query)
+    validity = compare_results(centralized, report.result)
+    return VerificationOutcome(
+        validity=validity,
+        centralized_rows=len(centralized.all_rows()),
+        distributed_rows=len(report.result.all_rows()),
+    )

@@ -1,0 +1,37 @@
+"""Distributed machine-learning substrate.
+
+The demonstration's second query is a K-Means followed by a Group By on
+the resulting clusters.  This package provides:
+
+* :mod:`repro.ml.kmeans` — centralized K-Means (Lloyd) and Mini-batch
+  K-Means [Sculley 2010], with k-means++ seeding;
+* :mod:`repro.ml.distributed_kmeans` — the Edgelet execution method of
+  Section 2.2: per-Computer local convergence + knowledge broadcast +
+  barycenter synchronization, cadenced by heartbeats;
+* :mod:`repro.ml.metrics` — inertia, centroid-matching distance, and
+  cluster-assignment agreement used to compare distributed results with
+  the centralized oracle.
+"""
+
+from repro.ml.kmeans import KMeansResult, kmeans, kmeans_plus_plus_init, mini_batch_kmeans
+from repro.ml.distributed_kmeans import CentroidKnowledge, KMeansComputerState, merge_knowledge
+from repro.ml.metrics import (
+    assignment_agreement,
+    centroid_matching_distance,
+    inertia,
+    relative_inertia_gap,
+)
+
+__all__ = [
+    "CentroidKnowledge",
+    "KMeansComputerState",
+    "KMeansResult",
+    "assignment_agreement",
+    "centroid_matching_distance",
+    "inertia",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "merge_knowledge",
+    "mini_batch_kmeans",
+    "relative_inertia_gap",
+]

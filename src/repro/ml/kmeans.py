@@ -1,0 +1,176 @@
+"""K-Means clustering (Lloyd) and Mini-batch K-Means.
+
+These are the reference algorithms of the paper's ML use case: Lloyd's
+iteration is what each Computer runs locally on its partition, and
+Mini-batch K-Means [Sculley, WWW 2010] is cited as evidence that
+resampling between iterations (which Overcollection induces under
+message loss) does not hurt — and can even help — accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans", "kmeans_plus_plus_init", "mini_batch_kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a clustering run.
+
+    Attributes:
+        centroids: ``(k, d)`` array of cluster centers.
+        labels: ``(n,)`` array assigning each input point to a centroid.
+        inertia: sum of squared distances to assigned centroids.
+        iterations: number of iterations actually executed.
+        converged: whether the run stopped by reaching the tolerance.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+def _as_points(points: np.ndarray) -> np.ndarray:
+    array = np.asarray(points, dtype=float)
+    if array.ndim != 2:
+        raise ValueError(f"points must be a 2-D array, got shape {array.shape}")
+    if array.shape[0] == 0:
+        raise ValueError("cannot cluster an empty dataset")
+    return array
+
+
+def kmeans_plus_plus_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to
+    squared distance from already-chosen ones."""
+    data = _as_points(points)
+    n = data.shape[0]
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > n:
+        raise ValueError(f"k={k} exceeds the number of points ({n})")
+    centroids = np.empty((k, data.shape[1]))
+    first = rng.integers(n)
+    centroids[0] = data[first]
+    closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # all remaining points coincide with a chosen centroid
+            centroids[i:] = data[rng.integers(n, size=k - i)]
+            break
+        probabilities = closest_sq / total
+        choice = rng.choice(n, p=probabilities)
+        centroids[i] = data[choice]
+        distance_sq = np.sum((data - centroids[i]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, distance_sq)
+    return centroids
+
+
+def _assign(points: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Label every point and return (labels, squared distances)."""
+    # (n, k) distance matrix via broadcasting
+    diffs = points[:, None, :] - centroids[None, :, :]
+    distances_sq = np.sum(diffs * diffs, axis=2)
+    labels = np.argmin(distances_sq, axis=1)
+    return labels, distances_sq[np.arange(points.shape[0]), labels]
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    seed: int = 0,
+    initial_centroids: np.ndarray | None = None,
+) -> KMeansResult:
+    """Lloyd's K-Means.
+
+    Empty clusters are re-seeded with the point farthest from its
+    centroid, keeping exactly ``k`` live clusters.
+    """
+    data = _as_points(points)
+    rng = np.random.default_rng(seed)
+    if initial_centroids is not None:
+        centroids = np.asarray(initial_centroids, dtype=float).copy()
+        if centroids.shape != (k, data.shape[1]):
+            raise ValueError(
+                f"initial centroids shape {centroids.shape} != ({k}, {data.shape[1]})"
+            )
+    else:
+        centroids = kmeans_plus_plus_init(data, k, rng)
+    labels = np.zeros(data.shape[0], dtype=int)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        labels, distances_sq = _assign(data, centroids)
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if members.shape[0] > 0:
+                new_centroids[cluster] = members.mean(axis=0)
+            else:
+                farthest = int(np.argmax(distances_sq))
+                new_centroids[cluster] = data[farthest]
+        shift = float(np.max(np.linalg.norm(new_centroids - centroids, axis=1)))
+        centroids = new_centroids
+        if shift <= tolerance:
+            converged = True
+            break
+    labels, distances_sq = _assign(data, centroids)
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels,
+        inertia=float(distances_sq.sum()),
+        iterations=iteration,
+        converged=converged,
+    )
+
+
+def mini_batch_kmeans(
+    points: np.ndarray,
+    k: int,
+    batch_size: int = 64,
+    max_iterations: int = 100,
+    seed: int = 0,
+    initial_centroids: np.ndarray | None = None,
+) -> KMeansResult:
+    """Mini-batch K-Means [Sculley 2010].
+
+    Each iteration samples a batch and moves assigned centroids with a
+    per-centroid learning rate ``1 / visit_count``.
+    """
+    data = _as_points(points)
+    rng = np.random.default_rng(seed)
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if initial_centroids is not None:
+        centroids = np.asarray(initial_centroids, dtype=float).copy()
+        if centroids.shape != (k, data.shape[1]):
+            raise ValueError(
+                f"initial centroids shape {centroids.shape} != ({k}, {data.shape[1]})"
+            )
+    else:
+        centroids = kmeans_plus_plus_init(data, k, rng)
+    counts = np.zeros(k, dtype=int)
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        batch_indices = rng.integers(data.shape[0], size=min(batch_size, data.shape[0]))
+        batch = data[batch_indices]
+        labels, _ = _assign(batch, centroids)
+        for point, label in zip(batch, labels):
+            counts[label] += 1
+            rate = 1.0 / counts[label]
+            centroids[label] = (1 - rate) * centroids[label] + rate * point
+    labels, distances_sq = _assign(data, centroids)
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels,
+        inertia=float(distances_sq.sum()),
+        iterations=iteration,
+        converged=False,
+    )

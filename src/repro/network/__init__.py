@@ -1,0 +1,40 @@
+"""Opportunistic network substrate.
+
+The Edgelet demonstration connects heterogeneous personal devices through
+"uncertain" communications: opportunistic contacts, disconnections at
+will, crashes, message loss.  This package provides:
+
+* :mod:`repro.network.simulator` — a deterministic discrete-event kernel
+  (virtual clock, event queue, timers, processes);
+* :mod:`repro.network.messages` — typed message records;
+* :mod:`repro.network.topology` — contact-graph models (who can ever talk
+  to whom, and with what link quality);
+* :mod:`repro.network.opnet` — the opportunistic network itself:
+  store-and-forward delivery with latency/loss sampled per link;
+* :mod:`repro.network.failures` — fault injection (crash, transient
+  disconnection, powering devices off at will, message drops).
+"""
+
+from repro.network.simulator import Event, Simulator
+from repro.network.messages import Message, MessageKind
+from repro.network.topology import ContactGraph, LinkQuality
+from repro.network.opnet import DeliveryReceipt, NetworkConfig, OpportunisticNetwork
+from repro.network.failures import FailureInjector, FailurePlan
+from repro.network.mobility import CaregiverRounds, ContactSchedule, RandomWaypointContacts
+
+__all__ = [
+    "CaregiverRounds",
+    "ContactGraph",
+    "ContactSchedule",
+    "DeliveryReceipt",
+    "Event",
+    "FailureInjector",
+    "FailurePlan",
+    "LinkQuality",
+    "Message",
+    "MessageKind",
+    "NetworkConfig",
+    "RandomWaypointContacts",
+    "OpportunisticNetwork",
+    "Simulator",
+]

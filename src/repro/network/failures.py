@@ -1,0 +1,179 @@
+"""Fault injection for the device swarm.
+
+The demonstration lets attendees "intentionally power off some concrete
+devices to generate a failure at will" and vary a global failure
+probability.  This module provides both:
+
+* :class:`FailurePlan` — a declarative schedule of crashes and
+  disconnection windows (scripted failures, reproducible);
+* :class:`FailureInjector` — a stochastic process that crashes or
+  disconnects devices according to per-device probabilities, driven by
+  the simulator clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.network.opnet import OpportunisticNetwork
+from repro.network.simulator import Simulator
+
+__all__ = ["FailurePlan", "FailureInjector", "FailureEvent"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A recorded failure occurrence (for traces and post-mortems)."""
+
+    time: float
+    device_id: str
+    kind: str  # "crash", "disconnect", "reconnect"
+
+
+@dataclass
+class FailurePlan:
+    """Declarative failure schedule.
+
+    Attributes:
+        crashes: map device_id -> virtual time of permanent crash.
+        disconnections: map device_id -> list of (start, end) offline
+            windows.  Windows may overlap; the device is offline in the
+            union of its windows.
+    """
+
+    crashes: dict[str, float] = field(default_factory=dict)
+    disconnections: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def crash(self, device_id: str, at: float) -> "FailurePlan":
+        """Schedule a permanent crash (fluent)."""
+        if at < 0:
+            raise ValueError("crash time must be non-negative")
+        self.crashes[device_id] = at
+        return self
+
+    def disconnect(self, device_id: str, start: float, end: float) -> "FailurePlan":
+        """Schedule an offline window (fluent)."""
+        if not 0 <= start < end:
+            raise ValueError("need 0 <= start < end")
+        self.disconnections.setdefault(device_id, []).append((start, end))
+        return self
+
+    def apply(self, simulator: Simulator, network: OpportunisticNetwork) -> list[FailureEvent]:
+        """Install the schedule on the simulator.  Returns the shared,
+        initially-empty event log that fills as failures fire."""
+        log: list[FailureEvent] = []
+
+        def make_crash(device_id: str):
+            def fire() -> None:
+                network.kill(device_id)
+                log.append(FailureEvent(simulator.now, device_id, "crash"))
+            return fire
+
+        def make_toggle(device_id: str, online: bool):
+            def fire() -> None:
+                network.set_online(device_id, online)
+                kind = "reconnect" if online else "disconnect"
+                log.append(FailureEvent(simulator.now, device_id, kind))
+            return fire
+
+        for device_id, at in self.crashes.items():
+            simulator.schedule_at(at, make_crash(device_id), f"crash {device_id}")
+        for device_id, windows in self.disconnections.items():
+            for start, end in windows:
+                simulator.schedule_at(start, make_toggle(device_id, False), f"offline {device_id}")
+                simulator.schedule_at(end, make_toggle(device_id, True), f"online {device_id}")
+        return log
+
+
+class FailureInjector:
+    """Stochastic crash/disconnect process over a set of devices.
+
+    Each *check interval*, every managed device independently:
+
+    * crashes permanently with probability ``crash_probability``;
+    * starts a disconnection window of ``disconnect_duration`` with
+      probability ``disconnect_probability`` (if currently online).
+
+    These two knobs correspond directly to the demonstration's "failure
+    probability value of the scenario" slider.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: OpportunisticNetwork,
+        device_ids: list[str],
+        crash_probability: float = 0.0,
+        disconnect_probability: float = 0.0,
+        disconnect_duration: float = 10.0,
+        check_interval: float = 1.0,
+        seed: int = 0,
+    ):
+        if not 0 <= crash_probability <= 1:
+            raise ValueError("crash_probability must be in [0, 1]")
+        if not 0 <= disconnect_probability <= 1:
+            raise ValueError("disconnect_probability must be in [0, 1]")
+        if disconnect_duration <= 0:
+            raise ValueError("disconnect_duration must be positive")
+        if check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        self.simulator = simulator
+        self.network = network
+        self.device_ids = list(device_ids)
+        self.crash_probability = crash_probability
+        self.disconnect_probability = disconnect_probability
+        self.disconnect_duration = disconnect_duration
+        self.check_interval = check_interval
+        self.events: list[FailureEvent] = []
+        self._rng = random.Random(seed)
+        self._cancel = None
+
+    def start(self, until: float | None = None) -> None:
+        """Begin injecting failures on the simulator clock."""
+        self._cancel = self.simulator.every(
+            self.check_interval, self._tick, "failure-injector", until=until
+        )
+
+    def stop(self) -> None:
+        """Stop injecting (already-scheduled reconnections still fire)."""
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    def _tick(self) -> None:
+        for device_id in self.device_ids:
+            if self.network.is_dead(device_id):
+                continue
+            if self._rng.random() < self.crash_probability:
+                self.network.kill(device_id)
+                self.events.append(
+                    FailureEvent(self.simulator.now, device_id, "crash")
+                )
+                continue
+            if (
+                self.network.is_online(device_id)
+                and self._rng.random() < self.disconnect_probability
+            ):
+                self.network.set_online(device_id, False)
+                self.events.append(
+                    FailureEvent(self.simulator.now, device_id, "disconnect")
+                )
+                self.simulator.schedule(
+                    self.disconnect_duration,
+                    self._make_reconnect(device_id),
+                    f"reconnect {device_id}",
+                )
+
+    def _make_reconnect(self, device_id: str):
+        def fire() -> None:
+            if not self.network.is_dead(device_id):
+                self.network.set_online(device_id, True)
+                self.events.append(
+                    FailureEvent(self.simulator.now, device_id, "reconnect")
+                )
+        return fire
+
+    def crashed_devices(self) -> list[str]:
+        """Devices that crashed so far (sorted)."""
+        return sorted({e.device_id for e in self.events if e.kind == "crash"})

@@ -1,0 +1,75 @@
+"""Typed message records carried by the opportunistic network.
+
+A :class:`Message` is the unit the network delivers; its payload is
+usually a sealed :class:`repro.crypto.envelope.Envelope`, but the network
+layer treats it as opaque.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "MessageKind"]
+
+_message_ids = itertools.count(1)
+
+
+class MessageKind(enum.Enum):
+    """Application-level message kinds used by the Edgelet protocol."""
+
+    CONTRIBUTION = "contribution"          # Data Contributor -> Snapshot Builder
+    PARTITION = "partition"                # Snapshot Builder -> Computer
+    PARTIAL_RESULT = "partial_result"      # Computer -> Computing Combiner
+    KNOWLEDGE = "knowledge"                # Computer <-> Computer (iterative ML)
+    FINAL_RESULT = "final_result"          # Combiner -> Querier
+    CHECKPOINT = "checkpoint"              # Backup strategy state transfer
+    HEARTBEAT = "heartbeat"                # Clock cadence signal
+    ATTESTATION = "attestation"            # Attestation protocol round
+    CONTROL = "control"                    # Plan distribution and bookkeeping
+
+
+@dataclass
+class Message:
+    """One network message.
+
+    Attributes:
+        sender: device identifier of the source edgelet.
+        recipient: device identifier of the destination edgelet.
+        kind: protocol role of this message.
+        payload: opaque content (envelope, plan fragment, ...).
+        size_bytes: wire size used by the latency model.
+        message_id: unique, monotonically increasing identifier.
+        sent_at: virtual time when the message entered the network
+            (filled by the network).
+        delivered_at: virtual time of delivery, or ``None`` if dropped.
+    """
+
+    sender: str
+    recipient: str
+    kind: MessageKind
+    payload: Any
+    size_bytes: int = 256
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    sent_at: float | None = None
+    delivered_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("message size must be positive")
+
+    @property
+    def in_flight_time(self) -> float | None:
+        """Transit time, once delivered."""
+        if self.sent_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at
+
+    def describe(self) -> str:
+        """One-line human-readable summary for execution traces."""
+        return (
+            f"#{self.message_id} {self.kind.value} "
+            f"{self.sender} -> {self.recipient} ({self.size_bytes}B)"
+        )

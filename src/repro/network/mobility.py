@@ -1,0 +1,154 @@
+"""Mobility and contact-schedule models for opportunistic connectivity.
+
+The DomYcile deployment is the archetype: home boxes are *not* connected
+to the Internet; they are "connected opportunistically by caregivers
+during their visits".  Connectivity is therefore a schedule of contact
+windows, not a steady link.  This module generates such schedules and
+installs them on the network:
+
+* :class:`CaregiverRounds` — every device is visited periodically
+  (period, visit duration, per-device phase), like a caregiver's round;
+* :class:`RandomWaypointContacts` — devices wander and meet at random,
+  exponential inter-contact times (classic OppNet model).
+
+Both produce :class:`ContactSchedule` objects that translate into
+online/offline windows on the :class:`~repro.network.opnet.
+OpportunisticNetwork`: a device is *online* during its contact windows
+and *offline* (store-and-forward buffering upstream) in between.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.network.opnet import OpportunisticNetwork
+from repro.network.simulator import Simulator
+
+__all__ = ["ContactSchedule", "CaregiverRounds", "RandomWaypointContacts"]
+
+
+@dataclass
+class ContactSchedule:
+    """Per-device lists of ``(start, end)`` online windows."""
+
+    windows: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def add_window(self, device_id: str, start: float, end: float) -> None:
+        """Append one contact window (must be well-formed)."""
+        if not 0 <= start < end:
+            raise ValueError(f"invalid window [{start}, {end})")
+        self.windows.setdefault(device_id, []).append((start, end))
+
+    def online_fraction(self, device_id: str, horizon: float) -> float:
+        """Fraction of ``[0, horizon)`` the device spends online."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        total = 0.0
+        for start, end in self.windows.get(device_id, []):
+            clipped_start = min(start, horizon)
+            clipped_end = min(end, horizon)
+            total += max(0.0, clipped_end - clipped_start)
+        return total / horizon
+
+    def is_online_at(self, device_id: str, time: float) -> bool:
+        """Whether the schedule has the device online at ``time``."""
+        return any(
+            start <= time < end for start, end in self.windows.get(device_id, [])
+        )
+
+    def install(
+        self, simulator: Simulator, network: OpportunisticNetwork
+    ) -> None:
+        """Drive the network's online/offline state from this schedule.
+
+        Scheduled devices start offline and toggle online exactly during
+        their windows; devices not in the schedule are untouched.
+        """
+        for device_id, windows in sorted(self.windows.items()):
+            network.set_online(device_id, self.is_online_at(device_id, simulator.now))
+            for start, end in sorted(windows):
+                if start > simulator.now:
+                    simulator.schedule_at(
+                        start,
+                        lambda d=device_id: network.set_online(d, True),
+                        f"contact start {device_id}",
+                    )
+                if end > simulator.now:
+                    simulator.schedule_at(
+                        end,
+                        lambda d=device_id: network.set_online(d, False),
+                        f"contact end {device_id}",
+                    )
+
+
+class CaregiverRounds:
+    """Periodic visit schedule (the DomYcile caregiver model).
+
+    Every device is visited once per ``period`` for ``visit_duration``;
+    the visit phase within the period is randomized per device (a
+    caregiver cannot be everywhere at once).
+    """
+
+    def __init__(
+        self,
+        period: float = 60.0,
+        visit_duration: float = 10.0,
+        seed: int = 0,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 < visit_duration <= period:
+            raise ValueError("visit_duration must be in (0, period]")
+        self.period = period
+        self.visit_duration = visit_duration
+        self._rng = random.Random(seed)
+
+    def schedule(self, device_ids: list[str], horizon: float) -> ContactSchedule:
+        """Generate visit windows for every device up to ``horizon``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        result = ContactSchedule()
+        for device_id in device_ids:
+            phase = self._rng.uniform(0.0, self.period - self.visit_duration)
+            start = phase
+            while start < horizon:
+                result.add_window(
+                    device_id, start, min(start + self.visit_duration, horizon)
+                )
+                start += self.period
+        return result
+
+
+class RandomWaypointContacts:
+    """Exponential inter-contact model (classic OppNet assumption).
+
+    Contacts arrive as a Poisson process with mean inter-contact time
+    ``mean_intercontact``; each contact lasts an exponential duration
+    with mean ``mean_duration``.
+    """
+
+    def __init__(
+        self,
+        mean_intercontact: float = 30.0,
+        mean_duration: float = 5.0,
+        seed: int = 0,
+    ):
+        if mean_intercontact <= 0 or mean_duration <= 0:
+            raise ValueError("means must be positive")
+        self.mean_intercontact = mean_intercontact
+        self.mean_duration = mean_duration
+        self._rng = random.Random(seed)
+
+    def schedule(self, device_ids: list[str], horizon: float) -> ContactSchedule:
+        """Generate random contact windows up to ``horizon``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        result = ContactSchedule()
+        for device_id in device_ids:
+            time = self._rng.expovariate(1.0 / self.mean_intercontact)
+            while time < horizon:
+                duration = self._rng.expovariate(1.0 / self.mean_duration)
+                result.add_window(device_id, time, min(time + duration, horizon))
+                time += duration + self._rng.expovariate(1.0 / self.mean_intercontact)
+        return result

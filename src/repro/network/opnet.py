@@ -1,0 +1,316 @@
+"""The opportunistic network: uncertain, store-and-forward delivery.
+
+This is the communication substrate of Edgelet computing.  Messages are
+delivered with per-link latency and loss sampled from the contact graph;
+devices can be *offline* (disconnected at will or crashed), in which case
+messages destined to them are either buffered until reconnection
+(store-and-forward, the OppNet behaviour) or dropped after a timeout.
+
+The network is deliberately *not* reliable: the Edgelet execution
+strategies (Overcollection, Backup, heartbeat-cadenced ML) exist exactly
+because this layer gives no delivery guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.network.messages import Message, MessageKind
+from repro.network.simulator import Simulator
+from repro.network.topology import ContactGraph, LinkQuality
+
+__all__ = ["NetworkConfig", "DeliveryReceipt", "OpportunisticNetwork"]
+
+Handler = Callable[[Message], None]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Tunable knobs of the opportunistic network.
+
+    Attributes:
+        allow_relay: deliver across multi-hop contact paths (each hop
+            adds its own latency and loss trial).
+        buffer_timeout: how long (virtual seconds) a message waits for an
+            offline recipient before being dropped; ``None`` waits
+            forever.
+        default_quality: link quality used when the contact graph has no
+            explicit edge but relaying is disabled and the devices are
+            assumed co-located (fully-connected fallback).
+        global_loss_probability: extra i.i.d. loss applied to every
+            message on top of per-link loss (the demonstration's
+            "failure context" slider).
+    """
+
+    allow_relay: bool = True
+    buffer_timeout: float | None = 120.0
+    default_quality: LinkQuality = field(default_factory=LinkQuality)
+    global_loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.global_loss_probability <= 1:
+            raise ValueError("global_loss_probability must be in [0, 1]")
+        if self.buffer_timeout is not None and self.buffer_timeout < 0:
+            raise ValueError("buffer_timeout must be non-negative")
+
+
+@dataclass
+class DeliveryReceipt:
+    """Outcome record for one send attempt (for traces and stats)."""
+
+    message_id: int
+    outcome: str  # "delivered", "lost", "dropped_timeout", "no_route", "dead"
+    latency: float | None = None
+
+
+class NetworkStats:
+    """Aggregate counters maintained by the network."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+        self.dropped_timeout = 0
+        self.no_route = 0
+        self.to_dead_device = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.by_kind: dict[str, int] = {}
+        self.bytes_by_sender: dict[str, int] = {}
+        self.bytes_by_recipient: dict[str, int] = {}
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all counters plus the delivery ratio."""
+        ratio = self.delivered / self.sent if self.sent else 1.0
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "dropped_timeout": self.dropped_timeout,
+            "no_route": self.no_route,
+            "to_dead_device": self.to_dead_device,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+            "delivery_ratio": ratio,
+        }
+
+
+class OpportunisticNetwork:
+    """Store-and-forward message delivery over a contact graph.
+
+    Devices register a handler with :meth:`attach`.  Sending never
+    blocks; delivery (or loss) happens later on the simulator clock.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        topology: ContactGraph,
+        config: NetworkConfig | None = None,
+        seed: int = 0,
+    ):
+        self.simulator = simulator
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self.stats = NetworkStats()
+        self._rng = random.Random(seed)
+        self._handlers: dict[str, Handler] = {}
+        self._online: dict[str, bool] = {}
+        self._dead: set[str] = set()
+        self._inboxes: dict[str, list[tuple[float, Message]]] = {}
+        self._receipts: list[DeliveryReceipt] = []
+
+    # -- device lifecycle -------------------------------------------------
+
+    def attach(self, device_id: str, handler: Handler) -> None:
+        """Register a device and its message handler (initially online)."""
+        self.topology.add_device(device_id)
+        self._handlers[device_id] = handler
+        self._online.setdefault(device_id, True)
+        self._inboxes.setdefault(device_id, [])
+
+    def is_online(self, device_id: str) -> bool:
+        """Whether the device currently accepts deliveries."""
+        return self._online.get(device_id, False) and device_id not in self._dead
+
+    def is_dead(self, device_id: str) -> bool:
+        """Whether the device has permanently crashed."""
+        return device_id in self._dead
+
+    def set_online(self, device_id: str, online: bool) -> None:
+        """Toggle temporary connectivity; reconnection flushes the inbox."""
+        if device_id in self._dead:
+            return
+        was_online = self._online.get(device_id, False)
+        self._online[device_id] = online
+        if online and not was_online:
+            self._flush_inbox(device_id)
+
+    def kill(self, device_id: str) -> None:
+        """Permanently crash a device; buffered messages are discarded."""
+        self._dead.add(device_id)
+        self._online[device_id] = False
+        dropped = self._inboxes.pop(device_id, [])
+        self._inboxes[device_id] = []
+        for _, message in dropped:
+            self.stats.to_dead_device += 1
+            self._receipts.append(
+                DeliveryReceipt(message.message_id, "dead")
+            )
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Inject a message into the network (asynchronous, unreliable)."""
+        message.sent_at = self.simulator.now
+        self.stats.sent += 1
+        self.stats.bytes_sent += message.size_bytes
+        self.stats.bytes_by_sender[message.sender] = (
+            self.stats.bytes_by_sender.get(message.sender, 0) + message.size_bytes
+        )
+        kind = message.kind.value
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+
+        if message.recipient in self._dead:
+            self.stats.to_dead_device += 1
+            self._receipts.append(DeliveryReceipt(message.message_id, "dead"))
+            return
+
+        if self._rng.random() < self.config.global_loss_probability:
+            self._record_loss(message)
+            return
+
+        quality, hops = self._route(message.sender, message.recipient)
+        if quality is None:
+            self.stats.no_route += 1
+            self._receipts.append(DeliveryReceipt(message.message_id, "no_route"))
+            return
+
+        # one loss trial per hop
+        for _ in range(hops):
+            if self._rng.random() < quality.loss_probability:
+                self._record_loss(message)
+                return
+
+        latency = sum(
+            quality.sample_latency(message.size_bytes, self._rng)
+            for _ in range(hops)
+        )
+        self.simulator.schedule(
+            latency,
+            lambda: self._arrive(message),
+            description=f"deliver {message.describe()}",
+        )
+
+    def broadcast(
+        self, sender: str, recipients: list[str], kind: MessageKind, payload_for: Callable[[str], object],
+        size_bytes: int = 256,
+    ) -> list[Message]:
+        """Send one message per recipient; returns the messages sent."""
+        messages = []
+        for recipient in recipients:
+            message = Message(
+                sender=sender,
+                recipient=recipient,
+                kind=kind,
+                payload=payload_for(recipient),
+                size_bytes=size_bytes,
+            )
+            self.send(message)
+            messages.append(message)
+        return messages
+
+    # -- internals ----------------------------------------------------------
+
+    def _route(self, sender: str, recipient: str) -> tuple[LinkQuality | None, int]:
+        """Find link quality and hop count between two devices."""
+        direct = self.topology.quality(sender, recipient)
+        if direct is not None:
+            return direct, 1
+        if self.config.allow_relay:
+            path = self.topology.path(sender, recipient)
+            if path is not None and len(path) >= 2:
+                # conservatively use the worst link quality on the path
+                worst = None
+                for a, b in zip(path, path[1:]):
+                    quality = self.topology.quality(a, b)
+                    if quality is None:
+                        return None, 0
+                    if worst is None or quality.base_latency > worst.base_latency:
+                        worst = quality
+                return worst, len(path) - 1
+            return None, 0
+        if self.topology.has_device(sender) and self.topology.has_device(recipient):
+            # co-located fallback when no explicit topology is modelled
+            return self.config.default_quality, 1
+        return None, 0
+
+    def _record_loss(self, message: Message) -> None:
+        self.stats.lost += 1
+        self._receipts.append(DeliveryReceipt(message.message_id, "lost"))
+
+    def _arrive(self, message: Message) -> None:
+        """A message physically reaches its destination's radio."""
+        recipient = message.recipient
+        if recipient in self._dead:
+            self.stats.to_dead_device += 1
+            self._receipts.append(DeliveryReceipt(message.message_id, "dead"))
+            return
+        if self.is_online(recipient):
+            self._deliver(message)
+            return
+        # store-and-forward: buffer until reconnection or timeout
+        self._inboxes.setdefault(recipient, []).append((self.simulator.now, message))
+        if self.config.buffer_timeout is not None:
+            self.simulator.schedule(
+                self.config.buffer_timeout,
+                lambda: self._expire(recipient, message),
+                description=f"expire {message.describe()}",
+            )
+
+    def _expire(self, recipient: str, message: Message) -> None:
+        inbox = self._inboxes.get(recipient, [])
+        for i, (_, buffered) in enumerate(inbox):
+            if buffered.message_id == message.message_id:
+                del inbox[i]
+                self.stats.dropped_timeout += 1
+                self._receipts.append(
+                    DeliveryReceipt(message.message_id, "dropped_timeout")
+                )
+                return
+
+    def _flush_inbox(self, device_id: str) -> None:
+        inbox = self._inboxes.get(device_id, [])
+        self._inboxes[device_id] = []
+        for _, message in inbox:
+            self._deliver(message)
+
+    def _deliver(self, message: Message) -> None:
+        message.delivered_at = self.simulator.now
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += message.size_bytes
+        self.stats.bytes_by_recipient[message.recipient] = (
+            self.stats.bytes_by_recipient.get(message.recipient, 0)
+            + message.size_bytes
+        )
+        self._receipts.append(
+            DeliveryReceipt(
+                message.message_id, "delivered", latency=message.in_flight_time
+            )
+        )
+        handler = self._handlers.get(message.recipient)
+        if handler is not None:
+            handler(message)
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def receipts(self) -> list[DeliveryReceipt]:
+        """All delivery receipts recorded so far."""
+        return list(self._receipts)
+
+    def buffered_count(self, device_id: str) -> int:
+        """Messages currently buffered for an offline device."""
+        return len(self._inboxes.get(device_id, []))

@@ -1,0 +1,178 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every dynamic aspect of the reproduction — message latency, device
+crashes, heartbeat clocks — runs on this kernel.  The design is
+intentionally small: a priority queue of :class:`Event` records ordered
+by ``(time, sequence)``.  The sequence number breaks ties so that two
+events at the same virtual instant fire in scheduling order, which makes
+whole executions reproducible bit-for-bit given a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Raised on kernel misuse (e.g. scheduling into the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordered by ``(time, sequence)``; the callback and its description are
+    excluded from the ordering.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    description: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when it pops."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A virtual clock plus an event queue.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run_until(10.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total number of events that have fired."""
+        return self._processed
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], description: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(
+            time=self._now + delay,
+            sequence=next(self._sequence),
+            callback=callback,
+            description=description,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], description: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        return self.schedule(time - self._now, callback, description)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        description: str = "",
+        until: float | None = None,
+    ) -> Callable[[], None]:
+        """Fire ``callback`` every ``interval`` units, starting one
+        interval from now, optionally stopping after virtual time
+        ``until``.  Returns a function that cancels the recurrence.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive (got {interval})")
+        state = {"stopped": False, "event": None}
+
+        def tick() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            if until is not None and self._now + interval > until:
+                return
+            state["event"] = self.schedule(interval, tick, description)
+
+        state["event"] = self.schedule(interval, tick, description)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            event = state["event"]
+            if event is not None:
+                event.cancel()
+
+        return cancel
+
+    def step(self) -> bool:
+        """Fire the earliest pending event.  Returns ``False`` if the
+        queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).
+
+        Returns the number of events fired by this call.
+        """
+        fired = 0
+        while max_events is None or fired < max_events:
+            if not self.step():
+                break
+            fired += 1
+        return fired
+
+    def run_until(self, deadline: float) -> int:
+        """Run events with ``time <= deadline`` and advance the clock to
+        exactly ``deadline``.  Returns the number of events fired."""
+        if deadline < self._now:
+            raise SimulationError(
+                f"deadline {deadline} is before current time {self._now}"
+            )
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+            fired += 1
+        self._now = deadline
+        return fired
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._processed = 0

@@ -1,0 +1,235 @@
+"""Contact-graph topology models for a swarm of personal devices.
+
+Opportunistic networks are usually described by *contact graphs*: which
+pairs of devices ever come into communication range, and how good those
+contacts are.  We model each potential link with a :class:`LinkQuality`
+(expected contact latency, loss probability, bandwidth) and provide
+generators for the topologies used in the demonstration scenarios:
+
+* ``fully_connected`` — an idealized always-reachable swarm (the demo's
+  conference-hall Wi-Fi case);
+* ``community`` — devices clustered into communities bridged by a few
+  "caregiver" hubs (the DomYcile home-box case, where caregivers carry
+  data between homes);
+* ``random_geometric`` — devices scattered in a unit square, linked when
+  within radio range.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+__all__ = ["LinkQuality", "ContactGraph"]
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Quality parameters of one (potential) contact link.
+
+    Attributes:
+        base_latency: expected one-way delay in virtual seconds when the
+            contact is up (includes the opportunistic waiting time).
+        latency_jitter: multiplicative jitter range; the sampled latency
+            is ``base_latency * uniform(1 - j, 1 + j)``.
+        loss_probability: probability that any given message on this
+            link is silently dropped.
+        bandwidth: bytes per virtual second, used for the size-dependent
+            component of the delay.
+    """
+
+    base_latency: float = 1.0
+    latency_jitter: float = 0.3
+    loss_probability: float = 0.0
+    bandwidth: float = 125_000.0  # 1 Mbit/s
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0:
+            raise ValueError("base_latency must be non-negative")
+        if not 0 <= self.latency_jitter < 1:
+            raise ValueError("latency_jitter must be in [0, 1)")
+        if not 0 <= self.loss_probability <= 1:
+            raise ValueError("loss_probability must be in [0, 1]")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def sample_latency(self, size_bytes: int, rng: random.Random) -> float:
+        """Sample the one-way delay for a message of ``size_bytes``."""
+        jitter = rng.uniform(1 - self.latency_jitter, 1 + self.latency_jitter)
+        return self.base_latency * jitter + size_bytes / self.bandwidth
+
+    def scaled(self, loss_probability: float) -> "LinkQuality":
+        """Copy of this link with a different loss probability."""
+        return LinkQuality(
+            base_latency=self.base_latency,
+            latency_jitter=self.latency_jitter,
+            loss_probability=loss_probability,
+            bandwidth=self.bandwidth,
+        )
+
+
+class ContactGraph:
+    """An undirected contact graph with per-edge :class:`LinkQuality`.
+
+    The graph answers two questions for the network layer: *can A talk
+    to B at all*, and *with what quality*.  Devices not joined by an
+    edge can still communicate through store-and-forward relaying if
+    ``allow_relay`` is enabled on the network.
+    """
+
+    def __init__(self, default_quality: LinkQuality | None = None):
+        self._graph = nx.Graph()
+        self._default = default_quality or LinkQuality()
+
+    # -- construction ---------------------------------------------------
+
+    def add_device(self, device_id: str) -> None:
+        """Register a device (idempotent)."""
+        self._graph.add_node(device_id)
+
+    def add_link(
+        self, a: str, b: str, quality: LinkQuality | None = None
+    ) -> None:
+        """Add a bidirectional contact link between ``a`` and ``b``."""
+        if a == b:
+            raise ValueError("self-links are not allowed")
+        self._graph.add_edge(a, b, quality=quality or self._default)
+
+    def remove_link(self, a: str, b: str) -> None:
+        """Drop a contact link if it exists."""
+        if self._graph.has_edge(a, b):
+            self._graph.remove_edge(a, b)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def devices(self) -> list[str]:
+        """All registered device identifiers (sorted for determinism)."""
+        return sorted(self._graph.nodes)
+
+    def has_device(self, device_id: str) -> bool:
+        return device_id in self._graph
+
+    def neighbors(self, device_id: str) -> list[str]:
+        """Direct contacts of a device (sorted)."""
+        if device_id not in self._graph:
+            return []
+        return sorted(self._graph.neighbors(device_id))
+
+    def quality(self, a: str, b: str) -> LinkQuality | None:
+        """Quality of the direct link a--b, or ``None`` if absent."""
+        data = self._graph.get_edge_data(a, b)
+        if data is None:
+            return None
+        return data["quality"]
+
+    def path(self, a: str, b: str) -> list[str] | None:
+        """Shortest relay path between two devices, or ``None``."""
+        if a not in self._graph or b not in self._graph:
+            return None
+        try:
+            return nx.shortest_path(self._graph, a, b)
+        except nx.NetworkXNoPath:
+            return None
+
+    def is_connected(self) -> bool:
+        """Whether the whole swarm forms one component."""
+        if self._graph.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def degree_histogram(self) -> dict[int, int]:
+        """Map degree -> number of devices with that degree."""
+        histogram: dict[int, int] = {}
+        for _, degree in self._graph.degree:
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram
+
+    # -- generators -------------------------------------------------------
+
+    @classmethod
+    def fully_connected(
+        cls, device_ids: Iterable[str], quality: LinkQuality | None = None
+    ) -> "ContactGraph":
+        """Every device can contact every other device directly."""
+        graph = cls(default_quality=quality)
+        ids = list(device_ids)
+        for device_id in ids:
+            graph.add_device(device_id)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                graph.add_link(a, b)
+        return graph
+
+    @classmethod
+    def community(
+        cls,
+        device_ids: Iterable[str],
+        n_communities: int,
+        hubs_per_community: int = 1,
+        quality: LinkQuality | None = None,
+        hub_quality: LinkQuality | None = None,
+        seed: int = 0,
+    ) -> "ContactGraph":
+        """Devices split into communities; hub devices bridge them.
+
+        Models the DomYcile deployment where home boxes only ever talk
+        to visiting caregivers, and caregivers meet each other.
+        """
+        ids = list(device_ids)
+        if n_communities <= 0:
+            raise ValueError("need at least one community")
+        rng = random.Random(seed)
+        graph = cls(default_quality=quality)
+        for device_id in ids:
+            graph.add_device(device_id)
+        communities: list[list[str]] = [[] for _ in range(n_communities)]
+        for device_id in ids:
+            communities[rng.randrange(n_communities)].append(device_id)
+        hub_q = hub_quality or (quality or graph._default)
+        hubs: list[str] = []
+        for members in communities:
+            if not members:
+                continue
+            local_hubs = members[: max(1, min(hubs_per_community, len(members)))]
+            hubs.extend(local_hubs)
+            for member in members:
+                for hub in local_hubs:
+                    if member != hub:
+                        graph.add_link(member, hub)
+            # intra-community mesh between hubs
+            for i, a in enumerate(local_hubs):
+                for b in local_hubs[i + 1:]:
+                    graph.add_link(a, b, hub_q)
+        # hubs of different communities meet each other
+        for i, a in enumerate(hubs):
+            for b in hubs[i + 1:]:
+                graph.add_link(a, b, hub_q)
+        return graph
+
+    @classmethod
+    def random_geometric(
+        cls,
+        device_ids: Iterable[str],
+        radius: float = 0.25,
+        quality: LinkQuality | None = None,
+        seed: int = 0,
+    ) -> "ContactGraph":
+        """Devices placed uniformly in the unit square, linked in range."""
+        ids = list(device_ids)
+        rng = random.Random(seed)
+        positions = {device_id: (rng.random(), rng.random()) for device_id in ids}
+        graph = cls(default_quality=quality)
+        for device_id in ids:
+            graph.add_device(device_id)
+        for i, a in enumerate(ids):
+            ax, ay = positions[a]
+            for b in ids[i + 1:]:
+                bx, by = positions[b]
+                if math.hypot(ax - bx, ay - by) <= radius:
+                    graph.add_link(a, b)
+        return graph

@@ -1,0 +1,217 @@
+"""Serializable predicate expressions.
+
+Query plans ship predicates to edgelets over the network, so predicates
+must round-trip through JSON.  The expression tree supports column
+references, literals, the six comparisons, IN-lists, and boolean
+combinators — enough for the demonstration queries (``age > 65``,
+``region IN (...)`` and the like).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "CompareExpr",
+    "InExpr",
+    "AndExpr",
+    "OrExpr",
+    "NotExpr",
+    "expression_from_dict",
+]
+
+Row = dict[str, Any]
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Expression:
+    """Base class for all expressions."""
+
+    def evaluate(self, row: Row) -> Any:
+        """Evaluate against one row."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """All column names the expression references."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a row column."""
+
+    name: str
+
+    def evaluate(self, row: Row) -> Any:
+        return row.get(self.name)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "column", "name": self.name}
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "literal", "value": self.value}
+
+    def columns(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class CompareExpr(Expression):
+    """Binary comparison; NULL on either side compares false (SQL-ish)."""
+
+    comparator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.comparator not in _COMPARATORS:
+            raise ValueError(f"unknown comparator {self.comparator!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return False
+        return _COMPARATORS[self.comparator](left, right)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": "compare",
+            "comparator": self.comparator,
+            "left": self.left.to_dict(),
+            "right": self.right.to_dict(),
+        }
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+
+@dataclass(frozen=True)
+class InExpr(Expression):
+    """Membership test against a literal list."""
+
+    operand: Expression
+    choices: tuple[Any, ...]
+
+    def evaluate(self, row: Row) -> bool:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        return value in self.choices
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": "in",
+            "operand": self.operand.to_dict(),
+            "choices": list(self.choices),
+        }
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+
+@dataclass(frozen=True)
+class AndExpr(Expression):
+    """Conjunction of sub-expressions."""
+
+    operands: tuple[Expression, ...]
+
+    def evaluate(self, row: Row) -> bool:
+        return all(operand.evaluate(row) for operand in self.operands)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "and", "operands": [o.to_dict() for o in self.operands]}
+
+    def columns(self) -> set[str]:
+        result: set[str] = set()
+        for operand in self.operands:
+            result |= operand.columns()
+        return result
+
+
+@dataclass(frozen=True)
+class OrExpr(Expression):
+    """Disjunction of sub-expressions."""
+
+    operands: tuple[Expression, ...]
+
+    def evaluate(self, row: Row) -> bool:
+        return any(operand.evaluate(row) for operand in self.operands)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "or", "operands": [o.to_dict() for o in self.operands]}
+
+    def columns(self) -> set[str]:
+        result: set[str] = set()
+        for operand in self.operands:
+            result |= operand.columns()
+        return result
+
+
+@dataclass(frozen=True)
+class NotExpr(Expression):
+    """Negation."""
+
+    operand: Expression
+
+    def evaluate(self, row: Row) -> bool:
+        return not self.operand.evaluate(row)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "not", "operand": self.operand.to_dict()}
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+
+def expression_from_dict(data: dict[str, Any]) -> Expression:
+    """Rebuild an expression tree from its JSON form."""
+    op = data.get("op")
+    if op == "column":
+        return ColumnRef(data["name"])
+    if op == "literal":
+        return Literal(data["value"])
+    if op == "compare":
+        return CompareExpr(
+            data["comparator"],
+            expression_from_dict(data["left"]),
+            expression_from_dict(data["right"]),
+        )
+    if op == "in":
+        return InExpr(expression_from_dict(data["operand"]), tuple(data["choices"]))
+    if op == "and":
+        return AndExpr(tuple(expression_from_dict(o) for o in data["operands"]))
+    if op == "or":
+        return OrExpr(tuple(expression_from_dict(o) for o in data["operands"]))
+    if op == "not":
+        return NotExpr(expression_from_dict(data["operand"]))
+    raise ValueError(f"unknown expression op {op!r}")

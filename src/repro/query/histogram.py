@@ -1,0 +1,111 @@
+"""Quantile and moment estimation from ``hist`` aggregate outputs.
+
+The ``hist`` aggregate returns equi-width bucket counts over a fixed
+grid defined by its ``(lower, upper, n_buckets)`` parameters.  Because
+bucket-wise sums merge exactly, histograms are fully distributive —
+which makes them the Edgelet-compatible route to medians and other
+quantiles (exact quantiles are famously *not* distributive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["HistogramView", "quantile_from_counts"]
+
+
+@dataclass(frozen=True)
+class HistogramView:
+    """Interprets a ``hist`` output against its grid parameters.
+
+    Attributes:
+        lower: inclusive lower bound of the grid.
+        upper: exclusive upper bound of the grid.
+        counts: per-bucket counts (possibly extrapolated floats).
+    """
+
+    lower: float
+    upper: float
+    counts: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.lower < self.upper:
+            raise ValueError("need lower < upper")
+        if not self.counts:
+            raise ValueError("need at least one bucket")
+        if any(count < 0 for count in self.counts):
+            raise ValueError("bucket counts must be non-negative")
+
+    @classmethod
+    def from_spec_params(
+        cls, params: tuple, counts: Sequence[float]
+    ) -> "HistogramView":
+        """Build a view from an ``AggregateSpec.params`` triple."""
+        lower, upper, n_buckets = params
+        if len(counts) != int(n_buckets):
+            raise ValueError(
+                f"expected {int(n_buckets)} buckets, got {len(counts)}"
+            )
+        return cls(lower=float(lower), upper=float(upper), counts=tuple(counts))
+
+    @property
+    def total(self) -> float:
+        """Total observations in the histogram."""
+        return sum(self.counts)
+
+    @property
+    def bucket_width(self) -> float:
+        return (self.upper - self.lower) / len(self.counts)
+
+    def edges(self) -> list[float]:
+        """The ``n_buckets + 1`` grid edges."""
+        width = self.bucket_width
+        return [self.lower + i * width for i in range(len(self.counts) + 1)]
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation within
+        the bucket containing the target rank."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        total = self.total
+        if total == 0:
+            raise ValueError("cannot take a quantile of an empty histogram")
+        target = q * total
+        cumulative = 0.0
+        width = self.bucket_width
+        for index, count in enumerate(self.counts):
+            if cumulative + count >= target and count > 0:
+                within = (target - cumulative) / count
+                return self.lower + (index + within) * width
+            cumulative += count
+        return self.upper
+
+    def median(self) -> float:
+        """The 0.5 quantile."""
+        return self.quantile(0.5)
+
+    def mean(self) -> float:
+        """Mean estimated from bucket midpoints."""
+        total = self.total
+        if total == 0:
+            raise ValueError("cannot take the mean of an empty histogram")
+        width = self.bucket_width
+        weighted = sum(
+            count * (self.lower + (index + 0.5) * width)
+            for index, count in enumerate(self.counts)
+        )
+        return weighted / total
+
+    def mode_bucket(self) -> tuple[float, float]:
+        """``(start, end)`` of the most populated bucket."""
+        index = max(range(len(self.counts)), key=lambda i: self.counts[i])
+        width = self.bucket_width
+        return (self.lower + index * width, self.lower + (index + 1) * width)
+
+
+def quantile_from_counts(
+    params: tuple, counts: Sequence[float], q: float
+) -> float:
+    """One-shot quantile estimate from a ``hist`` output."""
+    return HistogramView.from_spec_params(params, counts).quantile(q)

@@ -1,0 +1,74 @@
+"""Shared fixtures for the Edgelet reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import (
+    EdgeletPlanner,
+    PrivacyParameters,
+    QuerySpec,
+    ResiliencyParameters,
+)
+from repro.data.health import HEALTH_SCHEMA, generate_health_rows
+from repro.network.opnet import NetworkConfig, OpportunisticNetwork
+from repro.network.simulator import Simulator
+from repro.network.topology import ContactGraph, LinkQuality
+from repro.query.aggregates import AggregateSpec
+from repro.query.groupby import GroupByQuery
+from repro.query.relation import Relation
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def perfect_network(simulator) -> OpportunisticNetwork:
+    """A loss-free, low-latency network over an implicit clique."""
+    topology = ContactGraph.fully_connected(
+        [], quality=LinkQuality(base_latency=0.01, latency_jitter=0.0, loss_probability=0.0)
+    )
+    config = NetworkConfig(
+        allow_relay=True,
+        buffer_timeout=1_000.0,
+        default_quality=LinkQuality(base_latency=0.01, latency_jitter=0.0),
+    )
+    return OpportunisticNetwork(simulator, topology, config, seed=1)
+
+
+@pytest.fixture
+def health_rows() -> list[dict]:
+    return generate_health_rows(120, seed=11)
+
+
+@pytest.fixture
+def health_relation(health_rows) -> Relation:
+    return Relation(HEALTH_SCHEMA, health_rows)
+
+
+@pytest.fixture
+def simple_group_by() -> GroupByQuery:
+    return GroupByQuery.single(
+        ["region"],
+        [AggregateSpec("count"), AggregateSpec("avg", "age"), AggregateSpec("sum", "bmi")],
+    )
+
+
+@pytest.fixture
+def aggregate_spec(simple_group_by) -> QuerySpec:
+    return QuerySpec(
+        query_id="test-aggregate",
+        kind="aggregate",
+        snapshot_cardinality=80,
+        group_by=simple_group_by,
+    )
+
+
+@pytest.fixture
+def planner() -> EdgeletPlanner:
+    return EdgeletPlanner(
+        privacy=PrivacyParameters(max_raw_per_edgelet=40),
+        resiliency=ResiliencyParameters(fault_rate=0.1, target_success=0.99),
+    )

@@ -1,0 +1,114 @@
+"""Tests for secure operator assignment by public-key hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import (
+    AssignmentError,
+    assign_operators,
+    contributor_builder,
+)
+from repro.core.qep import OperatorRole, QueryExecutionPlan
+
+
+def _plan(n_computers: int = 3) -> QueryExecutionPlan:
+    plan = QueryExecutionPlan("assign-test")
+    contributor = plan.new_operator(OperatorRole.DATA_CONTRIBUTOR, op_id="c")
+    builder = plan.new_operator(OperatorRole.SNAPSHOT_BUILDER, op_id="sb")
+    plan.connect(contributor, builder)
+    combiner = plan.new_operator(OperatorRole.COMPUTING_COMBINER, op_id="comb")
+    querier = plan.new_operator(OperatorRole.QUERIER, op_id="q")
+    for i in range(n_computers):
+        computer = plan.new_operator(OperatorRole.COMPUTER, op_id=f"comp{i}")
+        plan.connect(builder, computer)
+        plan.connect(computer, combiner)
+    plan.connect(combiner, querier)
+    return plan
+
+
+class TestContributorRouting:
+    def test_deterministic(self):
+        builders = ["b1", "b2", "b3"]
+        assert contributor_builder("fp-1", builders, "q") == contributor_builder(
+            "fp-1", builders, "q"
+        )
+
+    def test_independent_of_builder_order(self):
+        builders = ["b1", "b2", "b3"]
+        assert contributor_builder("fp-1", builders, "q") == contributor_builder(
+            "fp-1", list(reversed(builders)), "q"
+        )
+
+    def test_query_id_changes_routing(self):
+        builders = [f"b{i}" for i in range(10)]
+        routes_q1 = [contributor_builder(f"fp-{i}", builders, "q1") for i in range(50)]
+        routes_q2 = [contributor_builder(f"fp-{i}", builders, "q2") for i in range(50)]
+        assert routes_q1 != routes_q2
+
+    def test_roughly_uniform(self):
+        builders = [f"b{i}" for i in range(4)]
+        counts: dict[str, int] = {}
+        for i in range(2000):
+            target = contributor_builder(f"fp-{i}", builders, "q")
+            counts[target] = counts.get(target, 0) + 1
+        assert min(counts.values()) > 350  # expectation 500
+
+    def test_empty_builders_rejected(self):
+        with pytest.raises(AssignmentError):
+            contributor_builder("fp", [], "q")
+
+
+class TestOperatorAssignment:
+    def test_all_data_processors_assigned(self):
+        plan = _plan()
+        devices = [f"d{i}" for i in range(10)]
+        assignment = assign_operators(plan, devices)
+        processors = [op for op in plan.operators() if op.role.is_data_processor]
+        assert all(op.assigned_to in devices for op in processors)
+        assert len(assignment.operator_to_device) == len(processors)
+
+    def test_exclusive_one_operator_per_device(self):
+        plan = _plan()
+        assignment = assign_operators(plan, [f"d{i}" for i in range(10)])
+        assert all(load == 1 for load in assignment.device_load.values())
+
+    def test_exclusive_insufficient_devices_rejected(self):
+        plan = _plan(n_computers=5)  # 5 computers + builder + combiner = 7
+        with pytest.raises(AssignmentError):
+            assign_operators(plan, ["d1", "d2"])
+
+    def test_non_exclusive_allows_sharing(self):
+        plan = _plan(n_computers=5)
+        assignment = assign_operators(plan, ["d1", "d2"], exclusive=False)
+        assert sum(assignment.device_load.values()) == 7
+
+    def test_deterministic(self):
+        devices = [f"d{i}" for i in range(10)]
+        a = assign_operators(_plan(), devices)
+        b = assign_operators(_plan(), devices)
+        assert a.operator_to_device == b.operator_to_device
+
+    def test_query_id_reshuffles(self):
+        devices = [f"d{i}" for i in range(20)]
+        plan_a = _plan()
+        plan_b = _plan()
+        plan_b.query_id = "other-query"
+        a = assign_operators(plan_a, devices)
+        b = assign_operators(plan_b, devices)
+        assert a.operator_to_device != b.operator_to_device
+
+    def test_no_devices_rejected(self):
+        with pytest.raises(AssignmentError):
+            assign_operators(_plan(), [])
+
+    def test_querier_and_contributors_not_assigned(self):
+        plan = _plan()
+        assign_operators(plan, [f"d{i}" for i in range(10)])
+        assert plan.operator("q").assigned_to is None
+        assert plan.operator("c").assigned_to is None
+
+    def test_devices_listing(self):
+        plan = _plan()
+        assignment = assign_operators(plan, [f"d{i}" for i in range(10)])
+        assert assignment.devices() == sorted(set(assignment.operator_to_device.values()))

@@ -1,0 +1,81 @@
+"""Tests for the Backup strategy state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backup import BackupChain, BackupConfig
+
+
+def _chain(replicas=2, timeout=10.0) -> BackupChain:
+    chain = BackupChain("computer[0]", BackupConfig(replicas=replicas, takeover_timeout=timeout))
+    for rank in range(replicas + 1):
+        chain.register(rank, f"device-{rank}")
+    return chain
+
+
+class TestBackupConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackupConfig(replicas=-1)
+        with pytest.raises(ValueError):
+            BackupConfig(takeover_timeout=0.0)
+
+    def test_worst_case_delay(self):
+        assert BackupConfig(replicas=3, takeover_timeout=5.0).worst_case_delay() == 15.0
+
+
+class TestBackupChain:
+    def test_primary_active_initially(self):
+        chain = _chain()
+        assert chain.active_rank == 0
+        assert chain.active_device == "device-0"
+
+    def test_rank_bounds_checked(self):
+        chain = _chain(replicas=1)
+        with pytest.raises(ValueError):
+            chain.register(5, "too-far")
+        with pytest.raises(ValueError):
+            chain.register(-1, "negative")
+
+    def test_promotion_sequence(self):
+        chain = _chain(replicas=2)
+        assert chain.report_failure(time=1.0) == "device-1"
+        assert chain.active_rank == 1
+        assert chain.report_failure(time=2.0) == "device-2"
+        assert chain.report_failure(time=3.0) is None
+        assert chain.exhausted
+        assert chain.active_device is None
+
+    def test_promotion_records(self):
+        chain = _chain(replicas=1)
+        chain.report_failure(time=5.0)
+        assert chain.promotion_count() == 1
+        record = chain.promotions[0]
+        assert record.from_rank == 0
+        assert record.to_rank == 1
+        assert record.time == 5.0
+
+    def test_checkpoint_replicated_to_all_ranks(self):
+        chain = _chain(replicas=2)
+        chain.checkpoint({"rows": [1, 2, 3]})
+        for rank in range(3):
+            assert chain.checkpoint_for(rank) == {"rows": [1, 2, 3]}
+
+    def test_replica_resumes_from_checkpoint(self):
+        chain = _chain(replicas=1)
+        chain.checkpoint("state-v1")
+        new_device = chain.report_failure(time=1.0)
+        assert new_device == "device-1"
+        assert chain.checkpoint_for(chain.active_rank) == "state-v1"
+
+    def test_unregistered_rank_exhausts(self):
+        chain = BackupChain("op", BackupConfig(replicas=2))
+        chain.register(0, "only-primary")
+        assert chain.report_failure(time=1.0) is None
+        assert chain.exhausted
+
+    def test_failure_after_exhaustion_stays_none(self):
+        chain = _chain(replicas=0)
+        assert chain.report_failure(time=1.0) is None
+        assert chain.report_failure(time=2.0) is None

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.command == "plan"
+        assert args.cardinality == 2000
+
+    def test_separate_pairs_parsing(self):
+        args = build_parser().parse_args(["plan", "--separate", "age,bmi;age,zipcode"])
+        assert args.separate == (("age", "bmi"), ("age", "zipcode"))
+
+    def test_separate_pairs_malformed(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--separate", "age"])
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "quorum"])
+
+
+class TestCommands:
+    def test_resiliency_table(self, capsys):
+        assert main(["resiliency", "--n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "fault rate" in out
+        assert "P(success)" in out
+        assert out.count("\n") >= 8
+
+    def test_plan_command(self, capsys):
+        code = main([
+            "plan", "--cardinality", "500", "--max-raw", "100",
+            "--fault-rate", "0.2", "--contributors", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QEP cli-plan" in out
+        assert "Snapshot Builders" in out
+
+    def test_plan_with_separation(self, capsys):
+        code = main([
+            "plan", "--separate", "age,bmi", "--contributors", "5",
+        ])
+        assert code == 0
+        assert "vertical groups" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        code = main([
+            "run", "--contributors", "30", "--processors", "15",
+            "--rows", "60", "--cardinality", "50", "--max-raw", "20",
+            "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SUCCESS" in out
+        assert "verification" in out
+
+    def test_run_with_plan_display(self, capsys):
+        code = main([
+            "run", "--contributors", "20", "--processors", "12",
+            "--rows", "40", "--cardinality", "30", "--max-raw", "15",
+            "--show-plan", "--seed", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QEP cli-run" in out
+
+    def test_run_backup_strategy(self, capsys):
+        code = main([
+            "run", "--contributors", "20", "--processors", "20",
+            "--rows", "40", "--cardinality", "80", "--max-raw", "50",
+            "--strategy", "backup", "--seed", "5",
+        ])
+        assert code == 0
+        assert "SUCCESS" in capsys.readouterr().out
+
+    def test_kmeans_command(self, capsys):
+        code = main([
+            "kmeans", "--contributors", "40", "--processors", "15",
+            "--rows", "80", "--cardinality", "60", "--k", "2",
+            "--heartbeats", "3", "--max-raw", "30", "--seed", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "centroid (" in out
+
+    def test_advise_command(self, capsys):
+        code = main(["advise", "--distributive", "--iterative",
+                     "--n", "8", "--fault-rate", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy: overcollection" in out
+        assert "heartbeat execution: True" in out
+
+    def test_advise_backup(self, capsys):
+        code = main(["advise", "--n", "4"])
+        assert code == 0
+        assert "strategy: backup" in capsys.readouterr().out
+
+    def test_run_with_order_and_limit(self, capsys):
+        code = main([
+            "run", "--contributors", "30", "--processors", "15",
+            "--rows", "60", "--cardinality", "120", "--max-raw", "70",
+            "--seed", "3",
+            "--sql",
+            "SELECT count(*) AS n FROM health GROUP BY region "
+            "ORDER BY n DESC LIMIT 2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "presented (ORDER BY / LIMIT applied):" in out
+
+    def test_run_with_hist_aggregate(self, capsys):
+        code = main([
+            "run", "--contributors", "30", "--processors", "15",
+            "--rows", "60", "--cardinality", "120", "--max-raw", "70",
+            "--seed", "3",
+            "--sql", "SELECT hist(age, 0, 110, 11) AS ages FROM health",
+        ])
+        assert code == 0
+        assert "ages" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Tests for Merkle commitments over dataset partitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerkleTree, verify_inclusion
+
+
+class TestMerkleTree:
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert len(tree) == 1
+        assert verify_inclusion(tree.root, b"only", tree.prove(0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+    def test_root_deterministic(self):
+        leaves = [b"a", b"b", b"c"]
+        assert MerkleTree(leaves).root == MerkleTree(leaves).root
+
+    def test_root_order_sensitive(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_root_hex_matches_root(self):
+        tree = MerkleTree([b"a", b"b"])
+        assert bytes.fromhex(tree.root_hex()) == tree.root
+
+    def test_all_proofs_verify_even_count(self):
+        leaves = [bytes([i]) for i in range(8)]
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            assert verify_inclusion(tree.root, leaf, tree.prove(index))
+
+    def test_all_proofs_verify_odd_count(self):
+        leaves = [bytes([i]) for i in range(7)]
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            assert verify_inclusion(tree.root, leaf, tree.prove(index))
+
+    def test_wrong_leaf_rejected(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        assert not verify_inclusion(tree.root, b"x", tree.prove(0))
+
+    def test_wrong_index_proof_rejected(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        assert not verify_inclusion(tree.root, b"a", tree.prove(1))
+
+    def test_wrong_root_rejected(self):
+        tree = MerkleTree([b"a", b"b"])
+        other = MerkleTree([b"a", b"c"])
+        assert not verify_inclusion(other.root, b"a", tree.prove(0))
+
+    def test_out_of_range_proof(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            tree.prove(1)
+
+    def test_duplicate_leaves_allowed(self):
+        tree = MerkleTree([b"same", b"same"])
+        assert verify_inclusion(tree.root, b"same", tree.prove(0))
+        assert verify_inclusion(tree.root, b"same", tree.prove(1))
+
+    def test_second_preimage_resistance_of_leaf_encoding(self):
+        # an inner node digest must not verify as a leaf
+        tree = MerkleTree([b"a", b"b"])
+        assert not verify_inclusion(tree.root, tree.root, tree.prove(0))
+
+    @given(st.lists(st.binary(max_size=32), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_every_leaf_provable(self, leaves):
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            assert verify_inclusion(tree.root, leaf, tree.prove(index))
+
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=2, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_modified_dataset_changes_root(self, leaves):
+        tree = MerkleTree(leaves)
+        mutated = list(leaves)
+        mutated[0] = mutated[0] + b"!"
+        assert MerkleTree(mutated).root != tree.root

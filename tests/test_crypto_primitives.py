@@ -1,0 +1,216 @@
+"""Unit and property-based tests for the crypto primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primitives import (
+    GROUP_ORDER,
+    GROUP_PRIME,
+    AuthenticationError,
+    KeyPair,
+    SymmetricKey,
+    decrypt,
+    derive_key,
+    diffie_hellman_shared,
+    encrypt,
+    generate_keypair,
+    hkdf,
+    hmac_digest,
+    secure_hash,
+    sign,
+    verify,
+)
+
+
+class TestHashing:
+    def test_secure_hash_is_hex_sha256(self):
+        digest = secure_hash(b"edgelet")
+        assert len(digest) == 64
+        assert digest == secure_hash(b"edgelet")
+
+    def test_secure_hash_differs_on_input(self):
+        assert secure_hash(b"a") != secure_hash(b"b")
+
+    def test_hmac_is_keyed(self):
+        assert hmac_digest(b"k1", b"data") != hmac_digest(b"k2", b"data")
+
+    def test_hmac_is_32_bytes(self):
+        assert len(hmac_digest(b"key", b"payload")) == 32
+
+
+class TestHKDF:
+    def test_deterministic(self):
+        assert hkdf(b"ikm", b"ctx", 32) == hkdf(b"ikm", b"ctx", 32)
+
+    def test_context_separation(self):
+        assert hkdf(b"ikm", b"ctx-a", 32) != hkdf(b"ikm", b"ctx-b", 32)
+
+    def test_requested_length_honoured(self):
+        for length in (1, 16, 32, 33, 64, 100):
+            assert len(hkdf(b"ikm", b"ctx", length)) == length
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf(b"ikm", b"ctx", 0)
+
+    def test_oversized_length_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf(b"ikm", b"ctx", 255 * 32 + 1)
+
+    def test_long_output_prefix_consistent(self):
+        short = hkdf(b"ikm", b"ctx", 32)
+        long = hkdf(b"ikm", b"ctx", 64)
+        assert long[:32] == short
+
+
+class TestSymmetricKey:
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            SymmetricKey(b"short")
+
+    def test_subkeys_are_domain_separated(self):
+        key = SymmetricKey.from_passphrase("pw")
+        assert key.enc_key != key.mac_key
+
+    def test_passphrase_derivation_deterministic(self):
+        assert (
+            SymmetricKey.from_passphrase("pw").material
+            == SymmetricKey.from_passphrase("pw").material
+        )
+
+    def test_random_keys_differ(self):
+        assert SymmetricKey.random().material != SymmetricKey.random().material
+
+    def test_fingerprint_short_and_stable(self):
+        key = SymmetricKey.from_passphrase("pw")
+        assert key.fingerprint() == key.fingerprint()
+        assert len(key.fingerprint()) == 16
+
+
+class TestAEAD:
+    def setup_method(self):
+        self.key = SymmetricKey.from_passphrase("test")
+
+    def test_round_trip(self):
+        blob = encrypt(self.key, b"hello edgelets")
+        assert decrypt(self.key, blob) == b"hello edgelets"
+
+    def test_round_trip_with_associated_data(self):
+        blob = encrypt(self.key, b"payload", b"header")
+        assert decrypt(self.key, blob, b"header") == b"payload"
+
+    def test_wrong_associated_data_fails(self):
+        blob = encrypt(self.key, b"payload", b"header")
+        with pytest.raises(AuthenticationError):
+            decrypt(self.key, blob, b"other")
+
+    def test_wrong_key_fails(self):
+        blob = encrypt(self.key, b"payload")
+        with pytest.raises(AuthenticationError):
+            decrypt(SymmetricKey.from_passphrase("other"), blob)
+
+    def test_tamper_detection(self):
+        blob = bytearray(encrypt(self.key, b"payload"))
+        blob[20] ^= 0xFF
+        with pytest.raises(AuthenticationError):
+            decrypt(self.key, bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(AuthenticationError):
+            decrypt(self.key, b"tiny")
+
+    def test_nonce_randomization(self):
+        assert encrypt(self.key, b"x") != encrypt(self.key, b"x")
+
+    def test_empty_plaintext(self):
+        blob = encrypt(self.key, b"")
+        assert decrypt(self.key, blob) == b""
+
+    @given(payload=st.binary(max_size=512), associated=st.binary(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, payload, associated):
+        key = SymmetricKey.from_passphrase("prop")
+        assert decrypt(key, encrypt(key, payload, associated), associated) == payload
+
+
+class TestKeyPairs:
+    def test_deterministic_from_seed(self):
+        assert generate_keypair(b"seed").public == generate_keypair(b"seed").public
+
+    def test_different_seeds_differ(self):
+        assert generate_keypair(b"a").public != generate_keypair(b"b").public
+
+    def test_private_in_group(self):
+        keypair = generate_keypair(b"seed")
+        assert 1 <= keypair.private < GROUP_ORDER
+
+    def test_public_in_group(self):
+        keypair = generate_keypair(b"seed")
+        assert 1 < keypair.public < GROUP_PRIME
+
+    def test_fingerprint_is_short_hex(self):
+        fingerprint = generate_keypair(b"seed").fingerprint()
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agreement(self):
+        alice = generate_keypair(b"alice")
+        bob = generate_keypair(b"bob")
+        assert diffie_hellman_shared(alice, bob.public) == diffie_hellman_shared(
+            bob, alice.public
+        )
+
+    def test_rejects_degenerate_peer(self):
+        alice = generate_keypair(b"alice")
+        for bad in (0, 1, GROUP_PRIME - 1, GROUP_PRIME):
+            with pytest.raises(ValueError):
+                diffie_hellman_shared(alice, bad)
+
+    def test_derive_key_contexts_differ(self):
+        alice = generate_keypair(b"alice")
+        bob = generate_keypair(b"bob")
+        shared = diffie_hellman_shared(alice, bob.public)
+        assert derive_key(shared, "ctx-a").material != derive_key(shared, "ctx-b").material
+
+
+class TestSignatures:
+    def test_sign_verify_round_trip(self):
+        keypair = generate_keypair(b"signer")
+        signature = sign(keypair, b"message")
+        assert verify(keypair.public, b"message", signature)
+
+    def test_signature_deterministic(self):
+        keypair = generate_keypair(b"signer")
+        assert sign(keypair, b"m") == sign(keypair, b"m")
+
+    def test_wrong_message_rejected(self):
+        keypair = generate_keypair(b"signer")
+        signature = sign(keypair, b"message")
+        assert not verify(keypair.public, b"other", signature)
+
+    def test_wrong_key_rejected(self):
+        keypair = generate_keypair(b"signer")
+        other = generate_keypair(b"other")
+        signature = sign(keypair, b"message")
+        assert not verify(other.public, b"message", signature)
+
+    def test_tampered_signature_rejected(self):
+        keypair = generate_keypair(b"signer")
+        commitment, response = sign(keypair, b"message")
+        assert not verify(keypair.public, b"message", (commitment, (response + 1) % GROUP_ORDER))
+
+    def test_degenerate_values_rejected(self):
+        keypair = generate_keypair(b"signer")
+        assert not verify(1, b"m", sign(keypair, b"m"))
+        assert not verify(keypair.public, b"m", (0, 0))
+
+    @given(st.binary(max_size=128))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, message):
+        keypair = generate_keypair(b"prop-signer")
+        assert verify(keypair.public, message, sign(keypair, message))

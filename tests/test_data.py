@@ -1,0 +1,138 @@
+"""Tests for the synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import SeededMixture, distribute_rows_to_devices
+from repro.data.health import (
+    HEALTH_MIXTURE,
+    HEALTH_SCHEMA,
+    generate_health_rows,
+    health_feature_matrix,
+)
+from repro.data.polling import POLLING_SCHEMA, generate_polling_rows
+
+
+class TestSeededMixture:
+    def test_sample_shapes(self):
+        points, components = HEALTH_MIXTURE.sample(100, np.random.default_rng(0))
+        assert points.shape == (100, 3)
+        assert components.shape == (100,)
+
+    def test_mixture_proportions_respected(self):
+        _, components = HEALTH_MIXTURE.sample(5000, np.random.default_rng(1))
+        share = np.bincount(components, minlength=3) / 5000
+        assert share[0] == pytest.approx(0.5, abs=0.05)
+        assert share[2] == pytest.approx(0.2, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeededMixture(means=(), stds=(), mix=())
+        with pytest.raises(ValueError):
+            SeededMixture(means=((0.0,),), stds=((1.0, 1.0),), mix=(1.0,))
+        with pytest.raises(ValueError):
+            SeededMixture(means=((0.0,),), stds=((1.0,),), mix=(0.0,))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            HEALTH_MIXTURE.sample(-1, np.random.default_rng(0))
+
+
+class TestHealthData:
+    def test_rows_conform_to_schema(self):
+        for row in generate_health_rows(50, seed=1):
+            HEALTH_SCHEMA.validate_row(row)
+
+    def test_deterministic(self):
+        assert generate_health_rows(20, seed=9) == generate_health_rows(20, seed=9)
+
+    def test_seed_changes_data(self):
+        assert generate_health_rows(20, seed=1) != generate_health_rows(20, seed=2)
+
+    def test_elderly_skew(self):
+        rows = generate_health_rows(2000, seed=4)
+        elderly = sum(1 for row in rows if row["age"] > 65)
+        assert elderly > 1000  # DomYcile population skews old
+
+    def test_dependency_correlates_with_profile(self):
+        rows = generate_health_rows(3000, seed=5)
+        # fragile profiles (high glucose) should have higher dependency
+        high = [r["dependency_level"] for r in rows if r["glucose"] > 1.45]
+        low = [r["dependency_level"] for r in rows if r["glucose"] < 1.05]
+        assert sum(high) / len(high) > sum(low) / len(low)
+
+    def test_feature_matrix_shape(self):
+        rows = generate_health_rows(40, seed=2)
+        features = health_feature_matrix(rows)
+        assert features.shape == (40, 3)
+
+    def test_feature_matrix_skips_incomplete(self):
+        rows = generate_health_rows(5, seed=2)
+        rows[0] = dict(rows[0], bmi=None)
+        assert health_feature_matrix(rows).shape == (4, 3)
+
+    def test_feature_matrix_empty(self):
+        assert health_feature_matrix([]).shape == (0, 3)
+
+    def test_patient_ids_unique(self):
+        rows = generate_health_rows(100, seed=3)
+        ids = [row["patient_id"] for row in rows]
+        assert len(set(ids)) == 100
+
+
+class TestPollingData:
+    def test_rows_conform_to_schema(self):
+        for row in generate_polling_rows(50, seed=1):
+            POLLING_SCHEMA.validate_row(row)
+
+    def test_deterministic(self):
+        assert generate_polling_rows(20, seed=9) == generate_polling_rows(20, seed=9)
+
+    def test_spending_varies_by_interest(self):
+        rows = generate_polling_rows(4000, seed=2)
+        by_interest: dict[str, list[float]] = {}
+        for row in rows:
+            by_interest.setdefault(row["interest"], []).append(row["spending"])
+        ml_mean = sum(by_interest["ml"]) / len(by_interest["ml"])
+        theory_mean = sum(by_interest["theory"]) / len(by_interest["theory"])
+        assert ml_mean > theory_mean
+
+    def test_satisfaction_bounded(self):
+        rows = generate_polling_rows(500, seed=3)
+        assert all(1.0 <= row["satisfaction"] <= 5.0 for row in rows)
+
+
+class TestDistribution:
+    def _rows(self, count):
+        return [{"id": i} for i in range(count)]
+
+    def test_all_rows_distributed(self):
+        allocations = distribute_rows_to_devices(self._rows(100), 10, (1, 3), seed=1)
+        distributed = [row["id"] for alloc in allocations for row in alloc]
+        assert sorted(distributed) == list(range(100))
+
+    def test_quota_respected_before_overflow(self):
+        allocations = distribute_rows_to_devices(self._rows(10), 20, (1, 2), seed=1)
+        assert all(len(alloc) <= 2 for alloc in allocations)
+
+    def test_overflow_round_robins(self):
+        allocations = distribute_rows_to_devices(self._rows(100), 3, (1, 1), seed=1)
+        sizes = [len(alloc) for alloc in allocations]
+        assert sum(sizes) == 100
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distribute_rows_to_devices([], 0)
+        with pytest.raises(ValueError):
+            distribute_rows_to_devices([], 2, (0, 1))
+        with pytest.raises(ValueError):
+            distribute_rows_to_devices([], 2, (3, 1))
+
+    def test_rows_are_copies(self):
+        rows = self._rows(3)
+        allocations = distribute_rows_to_devices(rows, 3, (1, 1), seed=0)
+        allocations[0][0]["id"] = 999
+        assert rows[0]["id"] == 0 or rows[1]["id"] == 1

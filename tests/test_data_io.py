@@ -1,0 +1,155 @@
+"""Tests for CSV import/export and the DOT/convergence additions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.health import HEALTH_SCHEMA, generate_health_rows
+from repro.data.io import load_relation_csv, save_relation_csv
+from repro.query.relation import Relation
+from repro.query.schema import Column, ColumnType, Schema, SchemaError
+
+MINI_SCHEMA = Schema.of(
+    Column("name", ColumnType.TEXT),
+    Column("age", ColumnType.INT),
+    Column("score", ColumnType.FLOAT),
+    Column("active", ColumnType.BOOL),
+)
+
+
+class TestCSVRoundTrip:
+    def test_round_trip(self, tmp_path):
+        relation = Relation(
+            MINI_SCHEMA,
+            [
+                {"name": "a", "age": 30, "score": 1.5, "active": True},
+                {"name": "b", "age": None, "score": None, "active": False},
+            ],
+        )
+        path = tmp_path / "data.csv"
+        written = save_relation_csv(relation, path)
+        assert written == 2
+        loaded = load_relation_csv(MINI_SCHEMA, path)
+        assert loaded == relation
+
+    def test_health_dataset_round_trip(self, tmp_path):
+        rows = generate_health_rows(50, seed=3)
+        relation = Relation(HEALTH_SCHEMA, rows)
+        path = tmp_path / "health.csv"
+        save_relation_csv(relation, path)
+        assert load_relation_csv(HEALTH_SCHEMA, path) == relation
+
+    def test_empty_file_loads_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert len(load_relation_csv(MINI_SCHEMA, path)) == 0
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("name,age\n")
+        assert len(load_relation_csv(MINI_SCHEMA, path)) == 0
+
+    def test_unknown_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,height\nx,180\n")
+        with pytest.raises(SchemaError):
+            load_relation_csv(MINI_SCHEMA, path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("name,age\nx\n")
+        with pytest.raises(SchemaError):
+            load_relation_csv(MINI_SCHEMA, path)
+
+    def test_bad_bool_rejected(self, tmp_path):
+        path = tmp_path / "badbool.csv"
+        path.write_text("active\nmaybe\n")
+        with pytest.raises(SchemaError):
+            load_relation_csv(MINI_SCHEMA, path)
+
+    def test_subset_of_columns(self, tmp_path):
+        path = tmp_path / "subset.csv"
+        path.write_text("age,name\n30,x\n")
+        loaded = load_relation_csv(MINI_SCHEMA, path)
+        assert loaded.rows == [
+            {"name": "x", "age": 30, "score": None, "active": None}
+        ]
+
+    def test_bool_spellings(self, tmp_path):
+        path = tmp_path / "bools.csv"
+        path.write_text("name,active\na,true\nb,0\nc,YES\nd,\n")
+        loaded = load_relation_csv(MINI_SCHEMA, path)
+        assert loaded.column_values("active") == [True, False, True, None]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("age\n30\n\n40\n")
+        loaded = load_relation_csv(MINI_SCHEMA, path)
+        assert loaded.column_values("age") == [30, 40]
+
+
+class TestDotRendering:
+    def _plan(self, n_contributors=5):
+        from repro.core.planner import EdgeletPlanner, PrivacyParameters, QuerySpec
+        from repro.query.sql import parse_query
+
+        planner = EdgeletPlanner(privacy=PrivacyParameters(max_raw_per_edgelet=100))
+        spec = QuerySpec(
+            query_id="dot", kind="aggregate", snapshot_cardinality=200,
+            group_by=parse_query("SELECT count(*) FROM t GROUP BY region").query,
+        )
+        return planner.plan(spec, n_contributors=n_contributors)
+
+    def test_dot_structure(self):
+        from repro.manager.dashboard import render_dot
+
+        dot = render_dot(self._plan())
+        assert dot.startswith("digraph qep {")
+        assert dot.rstrip().endswith("}")
+        assert '"combiner"' in dot
+        assert '"querier"' in dot
+        assert "->" in dot
+
+    def test_dot_collapses_many_contributors(self):
+        from repro.manager.dashboard import render_dot
+
+        dot = render_dot(self._plan(n_contributors=50), max_contributors=10)
+        assert "50 Data Contributors" in dot
+        assert dot.count("contrib[") == 0
+
+    def test_dot_small_plans_not_collapsed(self):
+        from repro.manager.dashboard import render_dot
+
+        dot = render_dot(self._plan(n_contributors=3), max_contributors=10)
+        assert dot.count("contrib[") >= 3
+
+
+class TestConvergenceTrace:
+    def test_trace_recorded_and_decreasing(self):
+        from repro.core.planner import PrivacyParameters, QuerySpec
+        from repro.manager.scenario import Scenario, ScenarioConfig
+
+        rows = generate_health_rows(160, seed=17)
+        config = ScenarioConfig(
+            n_contributors=80, n_processors=25, rows=rows,
+            schema=HEALTH_SCHEMA, device_mix=(1.0, 0.0, 0.0),
+            collection_window=15.0, deadline=70.0, seed=17,
+        )
+        scenario = Scenario(config)
+        spec = QuerySpec(
+            query_id="conv", kind="kmeans", snapshot_cardinality=140,
+            kmeans_k=3, feature_columns=("bmi", "systolic_bp", "glucose"),
+            heartbeats=6,
+        )
+        result = scenario.run_query(
+            spec, privacy=PrivacyParameters(max_raw_per_edgelet=40)
+        )
+        assert result.report.success
+        trace = result.report.convergence_trace
+        assert len(trace) >= 3
+        beats = [beat for beat, _ in trace]
+        assert beats == sorted(beats)
+        # gossip settles: the late shifts are smaller than the early ones
+        early = trace[0][1]
+        late = trace[-1][1]
+        assert late <= early + 1e-9

@@ -1,0 +1,128 @@
+"""Tests for the distributive COUNT DISTINCT (HyperLogLog) aggregate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.aggregates import (
+    AggregateSpec,
+    AggregateState,
+    finalize_state,
+    make_state,
+    merge_states,
+)
+from repro.query.groupby import (
+    GroupByQuery,
+    evaluate_group_by,
+    finalize_partials,
+    merge_partials,
+)
+from repro.query.sql import parse_query
+
+
+class TestDistinctState:
+    def test_exact_for_small_cardinalities(self):
+        spec = AggregateSpec("distinct", "patient_id")
+        rows = [{"patient_id": i % 20} for i in range(200)]
+        state = make_state(spec, rows)
+        assert finalize_state(spec, state) == pytest.approx(20, abs=3)
+
+    def test_nulls_ignored(self):
+        spec = AggregateSpec("distinct", "v")
+        state = make_state(spec, [{"v": None}, {"v": 1}, {"v": None}])
+        assert finalize_state(spec, state) == 1
+
+    def test_empty_is_zero(self):
+        spec = AggregateSpec("distinct", "v")
+        assert finalize_state(spec, make_state(spec, [])) == 0
+
+    def test_requires_column(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("distinct")
+
+    def test_serialization_round_trip(self):
+        spec = AggregateSpec("distinct", "v")
+        state = make_state(spec, [{"v": i} for i in range(50)])
+        rebuilt = AggregateState.from_dict(state.to_dict())
+        assert finalize_state(spec, rebuilt) == finalize_state(spec, state)
+
+    def test_merge_deduplicates_across_partitions(self):
+        """The whole point: duplicates across partitions cost nothing."""
+        spec = AggregateSpec("distinct", "v")
+        left = make_state(spec, [{"v": i} for i in range(100)])
+        right = make_state(spec, [{"v": i} for i in range(100)])  # same values
+        merged = merge_states([left, right])
+        assert finalize_state(spec, merged) == pytest.approx(100, rel=0.15)
+
+    def test_merge_of_disjoint_unions(self):
+        spec = AggregateSpec("distinct", "v")
+        left = make_state(spec, [{"v": i} for i in range(100)])
+        right = make_state(spec, [{"v": i} for i in range(100, 200)])
+        merged = merge_states([left, right])
+        assert finalize_state(spec, merged) == pytest.approx(200, rel=0.15)
+
+    def test_merge_with_plain_state(self):
+        spec = AggregateSpec("distinct", "v")
+        state = make_state(spec, [{"v": 1}])
+        merged = merge_states([state, AggregateState()])
+        assert finalize_state(spec, merged) == 1
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=500), max_size=200),
+        n_parts=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_equals_single_pass_property(self, values, n_parts):
+        spec = AggregateSpec("distinct", "v")
+        rows = [{"v": value} for value in values]
+        whole = finalize_state(spec, make_state(spec, rows))
+        parts = [rows[i::n_parts] for i in range(n_parts)]
+        merged = finalize_state(
+            spec, merge_states(make_state(spec, part) for part in parts)
+        )
+        assert merged == whole  # register-max merge is exactly order-free
+
+
+class TestDistinctInGroupBy:
+    def test_distinct_per_group(self):
+        query = GroupByQuery.single(
+            ["region"], [AggregateSpec("distinct", "patient_id", alias="patients")]
+        )
+        rows = (
+            [{"region": "idf", "patient_id": i % 10} for i in range(50)]
+            + [{"region": "paca", "patient_id": i % 5} for i in range(50)]
+        )
+        result = finalize_partials(query, evaluate_group_by(query, rows))
+        index = {row["region"]: row["patients"] for row in result.rows_for(("region",))}
+        assert index["idf"] == pytest.approx(10, abs=2)
+        assert index["paca"] == pytest.approx(5, abs=1)
+
+    def test_distributed_distinct_matches_centralized(self):
+        query = GroupByQuery(
+            grouping_sets=((),),
+            aggregates=(AggregateSpec("distinct", "patient_id"),),
+        )
+        rows = [{"patient_id": i % 60} for i in range(240)]
+        centralized = finalize_partials(query, evaluate_group_by(query, rows))
+        parts = [rows[i::3] for i in range(3)]
+        partials = [evaluate_group_by(query, part) for part in parts]
+        distributed = finalize_partials(query, merge_partials(query, partials))
+        assert distributed.all_rows() == centralized.all_rows()
+
+    def test_sql_distinct_parses_and_runs(self):
+        from repro.query.engine import CentralizedEngine
+        from repro.query.relation import Relation
+        from repro.query.schema import Column, ColumnType, Schema
+
+        schema = Schema.of(
+            Column("region", ColumnType.TEXT), Column("pid", ColumnType.INT)
+        )
+        engine = CentralizedEngine()
+        engine.register(
+            "t",
+            Relation(schema, [{"region": "idf", "pid": i % 7} for i in range(70)]),
+        )
+        result = engine.execute_sql("SELECT distinct(pid) FROM t GROUP BY region")
+        assert result.rows_for(("region",))[0]["distinct_pid"] == pytest.approx(7, abs=1)

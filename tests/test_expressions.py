@@ -1,0 +1,108 @@
+"""Tests for serializable predicate expressions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.expressions import (
+    AndExpr,
+    ColumnRef,
+    CompareExpr,
+    InExpr,
+    Literal,
+    NotExpr,
+    OrExpr,
+    expression_from_dict,
+)
+
+
+class TestEvaluation:
+    def test_column_ref(self):
+        assert ColumnRef("age").evaluate({"age": 70}) == 70
+        assert ColumnRef("age").evaluate({}) is None
+
+    def test_literal(self):
+        assert Literal(5).evaluate({}) == 5
+
+    def test_comparisons(self):
+        row = {"age": 70}
+        age = ColumnRef("age")
+        assert CompareExpr(">", age, Literal(65)).evaluate(row)
+        assert not CompareExpr("<", age, Literal(65)).evaluate(row)
+        assert CompareExpr(">=", age, Literal(70)).evaluate(row)
+        assert CompareExpr("<=", age, Literal(70)).evaluate(row)
+        assert CompareExpr("=", age, Literal(70)).evaluate(row)
+        assert CompareExpr("!=", age, Literal(71)).evaluate(row)
+
+    def test_null_comparison_is_false(self):
+        expr = CompareExpr(">", ColumnRef("age"), Literal(65))
+        assert not expr.evaluate({"age": None})
+        assert not expr.evaluate({})
+
+    def test_unknown_comparator_rejected(self):
+        with pytest.raises(ValueError):
+            CompareExpr("<>", Literal(1), Literal(2))
+
+    def test_in_expression(self):
+        expr = InExpr(ColumnRef("region"), ("idf", "paca"))
+        assert expr.evaluate({"region": "idf"})
+        assert not expr.evaluate({"region": "bretagne"})
+        assert not expr.evaluate({"region": None})
+
+    def test_boolean_combinators(self):
+        age_ok = CompareExpr(">", ColumnRef("age"), Literal(65))
+        idf = CompareExpr("=", ColumnRef("region"), Literal("idf"))
+        both = AndExpr((age_ok, idf))
+        either = OrExpr((age_ok, idf))
+        negated = NotExpr(age_ok)
+        assert both.evaluate({"age": 70, "region": "idf"})
+        assert not both.evaluate({"age": 70, "region": "paca"})
+        assert either.evaluate({"age": 60, "region": "idf"})
+        assert negated.evaluate({"age": 60})
+
+    def test_columns_collection(self):
+        expr = AndExpr(
+            (
+                CompareExpr(">", ColumnRef("age"), Literal(65)),
+                NotExpr(InExpr(ColumnRef("region"), ("idf",))),
+            )
+        )
+        assert expr.columns() == {"age", "region"}
+
+
+class TestSerialization:
+    def _round_trip(self, expr):
+        return expression_from_dict(expr.to_dict())
+
+    def test_round_trip_all_node_types(self):
+        expr = OrExpr(
+            (
+                AndExpr(
+                    (
+                        CompareExpr(">", ColumnRef("age"), Literal(65)),
+                        InExpr(ColumnRef("region"), ("idf", "paca")),
+                    )
+                ),
+                NotExpr(CompareExpr("=", ColumnRef("sex"), Literal("F"))),
+            )
+        )
+        rebuilt = self._round_trip(expr)
+        row = {"age": 70, "region": "idf", "sex": "F"}
+        assert rebuilt.evaluate(row) == expr.evaluate(row)
+        assert rebuilt.to_dict() == expr.to_dict()
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            expression_from_dict({"op": "xor"})
+
+    @given(
+        age=st.one_of(st.none(), st.integers(min_value=0, max_value=120)),
+        threshold=st.integers(min_value=0, max_value=120),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_semantics_property(self, age, threshold):
+        expr = CompareExpr(">", ColumnRef("age"), Literal(threshold))
+        rebuilt = expression_from_dict(expr.to_dict())
+        assert rebuilt.evaluate({"age": age}) == expr.evaluate({"age": age})

@@ -1,0 +1,131 @@
+"""Tests for fault injection (scripted plans and stochastic injector)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.failures import FailureInjector, FailurePlan
+from repro.network.opnet import NetworkConfig, OpportunisticNetwork
+from repro.network.simulator import Simulator
+from repro.network.topology import ContactGraph, LinkQuality
+
+
+def _net():
+    sim = Simulator()
+    topology = ContactGraph(
+        default_quality=LinkQuality(base_latency=0.1, latency_jitter=0.0)
+    )
+    network = OpportunisticNetwork(sim, topology, NetworkConfig(), seed=0)
+    for device in ("a", "b", "c"):
+        network.attach(device, lambda m: None)
+    return sim, network
+
+
+class TestFailurePlan:
+    def test_scripted_crash(self):
+        sim, net = _net()
+        plan = FailurePlan().crash("a", at=5.0)
+        log = plan.apply(sim, net)
+        sim.run_until(4.9)
+        assert not net.is_dead("a")
+        sim.run_until(5.1)
+        assert net.is_dead("a")
+        assert [(e.device_id, e.kind) for e in log] == [("a", "crash")]
+
+    def test_scripted_disconnect_window(self):
+        sim, net = _net()
+        plan = FailurePlan().disconnect("b", start=2.0, end=6.0)
+        log = plan.apply(sim, net)
+        sim.run_until(3.0)
+        assert not net.is_online("b")
+        sim.run_until(7.0)
+        assert net.is_online("b")
+        assert [e.kind for e in log] == ["disconnect", "reconnect"]
+
+    def test_fluent_chaining(self):
+        plan = FailurePlan().crash("a", 1.0).disconnect("b", 0.0, 2.0)
+        assert "a" in plan.crashes
+        assert "b" in plan.disconnections
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            FailurePlan().disconnect("a", 5.0, 5.0)
+        with pytest.raises(ValueError):
+            FailurePlan().crash("a", -1.0)
+
+    def test_crash_during_disconnect_wins(self):
+        sim, net = _net()
+        plan = FailurePlan().disconnect("a", 1.0, 10.0).crash("a", 5.0)
+        plan.apply(sim, net)
+        sim.run_until(20.0)
+        assert net.is_dead("a")
+        assert not net.is_online("a")
+
+
+class TestFailureInjector:
+    def test_zero_probabilities_do_nothing(self):
+        sim, net = _net()
+        injector = FailureInjector(sim, net, ["a", "b"], 0.0, 0.0)
+        injector.start(until=50.0)
+        sim.run()
+        assert injector.events == []
+
+    def test_certain_crash_kills_everyone(self):
+        sim, net = _net()
+        injector = FailureInjector(sim, net, ["a", "b"], crash_probability=1.0)
+        injector.start(until=5.0)
+        sim.run_until(2.0)
+        assert net.is_dead("a") and net.is_dead("b")
+        assert injector.crashed_devices() == ["a", "b"]
+
+    def test_disconnect_then_reconnect(self):
+        sim, net = _net()
+        injector = FailureInjector(
+            sim, net, ["a"],
+            disconnect_probability=1.0, disconnect_duration=3.0,
+        )
+        injector.start(until=1.0)
+        sim.run_until(1.5)
+        assert not net.is_online("a")
+        sim.run_until(10.0)
+        assert net.is_online("a")
+        kinds = [e.kind for e in injector.events]
+        assert "disconnect" in kinds and "reconnect" in kinds
+
+    def test_crash_rate_statistics(self):
+        sim, net = _net()
+        devices = [f"d{i}" for i in range(300)]
+        for device in devices:
+            net.attach(device, lambda m: None)
+        injector = FailureInjector(sim, net, devices, crash_probability=0.1, seed=7)
+        injector.start(until=1.0)
+        sim.run_until(1.5)
+        crashed = len(injector.crashed_devices())
+        assert 10 < crashed < 60  # ~30 expected
+
+    def test_stop_halts_injection(self):
+        sim, net = _net()
+        injector = FailureInjector(sim, net, ["a"], crash_probability=1.0)
+        injector.start()
+        injector.stop()
+        sim.run_until(10.0)
+        assert not net.is_dead("a")
+
+    def test_parameter_validation(self):
+        sim, net = _net()
+        with pytest.raises(ValueError):
+            FailureInjector(sim, net, ["a"], crash_probability=1.5)
+        with pytest.raises(ValueError):
+            FailureInjector(sim, net, ["a"], disconnect_probability=-0.1)
+        with pytest.raises(ValueError):
+            FailureInjector(sim, net, ["a"], disconnect_duration=0.0)
+        with pytest.raises(ValueError):
+            FailureInjector(sim, net, ["a"], check_interval=0.0)
+
+    def test_dead_devices_not_reinjected(self):
+        sim, net = _net()
+        injector = FailureInjector(sim, net, ["a"], crash_probability=1.0)
+        injector.start(until=5.0)
+        sim.run()
+        crash_events = [e for e in injector.events if e.kind == "crash"]
+        assert len(crash_events) == 1

@@ -1,0 +1,172 @@
+"""Tests for the distributive histogram aggregate and quantile views."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.aggregates import (
+    AggregateSpec,
+    finalize_state,
+    make_state,
+    merge_states,
+)
+from repro.query.histogram import HistogramView, quantile_from_counts
+from repro.query.sql import parse_query
+
+HIST = AggregateSpec("hist", "age", params=(0, 100, 10))
+
+
+class TestHistSpec:
+    def test_params_required(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("hist", "age")
+        with pytest.raises(ValueError):
+            AggregateSpec("hist", "age", params=(0, 100))
+        with pytest.raises(ValueError):
+            AggregateSpec("hist", "age", params=(100, 0, 10))
+        with pytest.raises(ValueError):
+            AggregateSpec("hist", "age", params=(0, 100, 0))
+
+    def test_other_functions_reject_params(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("avg", "age", params=(1,))
+
+    def test_serialization_round_trip(self):
+        assert AggregateSpec.from_dict(HIST.to_dict()) == HIST
+
+
+class TestHistState:
+    def test_bucketing(self):
+        rows = [{"age": a} for a in (5, 15, 15, 95)]
+        counts = finalize_state(HIST, make_state(HIST, rows))
+        assert counts[0] == 1
+        assert counts[1] == 2
+        assert counts[9] == 1
+        assert sum(counts) == 4
+
+    def test_out_of_range_clamps(self):
+        rows = [{"age": -10}, {"age": 500}]
+        counts = finalize_state(HIST, make_state(HIST, rows))
+        assert counts[0] == 1
+        assert counts[9] == 1
+
+    def test_nulls_skipped(self):
+        counts = finalize_state(HIST, make_state(HIST, [{"age": None}]))
+        assert sum(counts) == 0
+
+    def test_empty_histogram(self):
+        counts = finalize_state(HIST, make_state(HIST, []))
+        assert counts == [0] * 10
+
+    def test_merge_adds_buckets(self):
+        left = make_state(HIST, [{"age": 5}, {"age": 15}])
+        right = make_state(HIST, [{"age": 15}, {"age": 95}])
+        merged = finalize_state(HIST, merge_states([left, right]))
+        assert merged[0] == 1 and merged[1] == 2 and merged[9] == 1
+
+    def test_mismatched_grids_rejected(self):
+        other = AggregateSpec("hist", "age", params=(0, 100, 5))
+        left = make_state(HIST, [{"age": 5}])
+        right = make_state(other, [{"age": 5}])
+        with pytest.raises(ValueError):
+            merge_states([left, right])
+
+    @given(
+        values=st.lists(st.floats(min_value=-50, max_value=150,
+                                  allow_nan=False), max_size=100),
+        n_parts=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_equals_single_pass(self, values, n_parts):
+        rows = [{"age": value} for value in values]
+        whole = finalize_state(HIST, make_state(HIST, rows))
+        parts = [rows[i::n_parts] for i in range(n_parts)]
+        merged = finalize_state(
+            HIST, merge_states(make_state(HIST, part) for part in parts)
+        )
+        assert merged == whole
+
+
+class TestHistogramView:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramView(10, 0, (1,))
+        with pytest.raises(ValueError):
+            HistogramView(0, 10, ())
+        with pytest.raises(ValueError):
+            HistogramView(0, 10, (-1,))
+        with pytest.raises(ValueError):
+            HistogramView.from_spec_params((0, 100, 10), [1, 2])
+
+    def test_edges(self):
+        view = HistogramView(0, 100, (1, 1, 1, 1))
+        assert view.edges() == [0, 25, 50, 75, 100]
+
+    def test_uniform_median(self):
+        view = HistogramView(0, 100, (10, 10, 10, 10))
+        assert view.median() == pytest.approx(50.0)
+
+    def test_quantiles_monotone(self):
+        view = HistogramView(0, 100, (5, 20, 40, 20, 5))
+        quantiles = [view.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9)]
+        assert quantiles == sorted(quantiles)
+
+    def test_quantile_bounds(self):
+        view = HistogramView(0, 10, (3, 3))
+        with pytest.raises(ValueError):
+            view.quantile(-0.1)
+        with pytest.raises(ValueError):
+            view.quantile(1.1)
+
+    def test_empty_histogram_raises(self):
+        view = HistogramView(0, 10, (0, 0))
+        with pytest.raises(ValueError):
+            view.median()
+        with pytest.raises(ValueError):
+            view.mean()
+
+    def test_mean_from_midpoints(self):
+        view = HistogramView(0, 10, (1, 0, 0, 0, 1))
+        # midpoints 1 and 9
+        assert view.mean() == pytest.approx(5.0)
+
+    def test_mode_bucket(self):
+        view = HistogramView(0, 30, (1, 5, 2))
+        assert view.mode_bucket() == (10.0, 20.0)
+
+    def test_quantile_accuracy_against_exact(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        values = rng.normal(50, 15, size=5000).clip(0, 100)
+        spec = AggregateSpec("hist", "v", params=(0, 100, 50))
+        counts = finalize_state(spec, make_state(spec, [{"v": float(v)} for v in values]))
+        estimated = quantile_from_counts((0, 100, 50), counts, 0.5)
+        assert estimated == pytest.approx(float(np.median(values)), abs=2.0)
+
+
+class TestHistInSQL:
+    def test_parse_hist(self):
+        parsed = parse_query("SELECT hist(age, 0, 110, 11) FROM health")
+        spec = parsed.query.aggregates[0]
+        assert spec.function == "hist"
+        assert spec.params == (0, 110, 11)
+
+    def test_hist_end_to_end_with_engine(self):
+        from repro.data.health import HEALTH_SCHEMA, generate_health_rows
+        from repro.query.engine import CentralizedEngine
+        from repro.query.relation import Relation
+
+        rows = generate_health_rows(300, seed=9)
+        engine = CentralizedEngine()
+        engine.register("health", Relation(HEALTH_SCHEMA, rows))
+        result = engine.execute_sql(
+            "SELECT hist(age, 0, 110, 11) AS ages FROM health"
+        )
+        counts = result.rows_for(())[0]["ages"]
+        assert sum(counts) == 300
+        view = HistogramView.from_spec_params((0, 110, 11), counts)
+        exact_median = sorted(row["age"] for row in rows)[150]
+        assert view.median() == pytest.approx(exact_median, abs=6.0)

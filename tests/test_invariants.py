@@ -1,0 +1,187 @@
+"""Cross-module property-based invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import (
+    EdgeletPlanner,
+    PrivacyParameters,
+    QuerySpec,
+    ResiliencyParameters,
+)
+from repro.core.qep import OperatorRole, QueryExecutionPlan
+from repro.network.messages import Message, MessageKind
+from repro.network.opnet import NetworkConfig, OpportunisticNetwork
+from repro.network.simulator import Simulator
+from repro.network.topology import ContactGraph, LinkQuality
+from repro.query.aggregates import AggregateSpec
+from repro.query.groupby import GroupByQuery
+from repro.query.sql import parse_query
+
+
+class TestNetworkConservation:
+    """Every sent message ends in exactly one terminal state."""
+
+    @given(
+        n_messages=st.integers(min_value=0, max_value=60),
+        loss=st.floats(min_value=0.0, max_value=1.0),
+        kill_receiver=st.booleans(),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sent_equals_sum_of_outcomes(self, n_messages, loss, kill_receiver, seed):
+        simulator = Simulator()
+        quality = LinkQuality(base_latency=0.5, latency_jitter=0.2,
+                              loss_probability=loss)
+        topology = ContactGraph(default_quality=quality)
+        topology.add_link("a", "b")
+        network = OpportunisticNetwork(
+            simulator, topology,
+            NetworkConfig(allow_relay=False, buffer_timeout=10.0,
+                          default_quality=quality),
+            seed=seed,
+        )
+        network.attach("a", lambda m: None)
+        network.attach("b", lambda m: None)
+        if kill_receiver:
+            network.kill("b")
+        for _ in range(n_messages):
+            network.send(Message(sender="a", recipient="b",
+                                 kind=MessageKind.CONTROL, payload=None))
+        simulator.run()
+        stats = network.stats
+        accounted = (
+            stats.delivered + stats.lost + stats.dropped_timeout
+            + stats.no_route + stats.to_dead_device
+        )
+        assert stats.sent == n_messages
+        assert accounted == n_messages
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_buffered_messages_eventually_resolve(self, seed):
+        simulator = Simulator()
+        quality = LinkQuality(base_latency=0.1, latency_jitter=0.0)
+        topology = ContactGraph(default_quality=quality)
+        topology.add_link("a", "b")
+        network = OpportunisticNetwork(
+            simulator, topology,
+            NetworkConfig(buffer_timeout=5.0, default_quality=quality),
+            seed=seed,
+        )
+        network.attach("a", lambda m: None)
+        network.attach("b", lambda m: None)
+        network.set_online("b", False)
+        for _ in range(5):
+            network.send(Message(sender="a", recipient="b",
+                                 kind=MessageKind.CONTROL, payload=None))
+        simulator.run()
+        assert network.buffered_count("b") == 0
+        assert network.stats.delivered + network.stats.dropped_timeout + network.stats.lost == 5
+
+
+class TestSimulatorMonotonicity:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_callbacks_observe_monotone_time(self, delays):
+        simulator = Simulator()
+        observed: list[float] = []
+        for delay in delays:
+            simulator.schedule(delay, lambda: observed.append(simulator.now))
+        simulator.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+
+_SQL_TEMPLATE = "SELECT count(*), avg(age), avg(bmi) FROM health GROUP BY region"
+
+
+class TestPlannerInvariants:
+    @given(
+        fault_rate=st.floats(min_value=0.0, max_value=0.8),
+        max_raw=st.integers(min_value=10, max_value=5000),
+        cardinality=st.integers(min_value=10, max_value=5000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_plans_always_validate(self, fault_rate, max_raw, cardinality):
+        planner = EdgeletPlanner(
+            privacy=PrivacyParameters(max_raw_per_edgelet=max_raw),
+            resiliency=ResiliencyParameters(fault_rate=fault_rate),
+        )
+        spec = QuerySpec(
+            query_id="prop", kind="aggregate",
+            snapshot_cardinality=cardinality,
+            group_by=parse_query(_SQL_TEMPLATE).query,
+        )
+        plan = planner.plan(spec, n_contributors=3)
+        plan.validate()
+        meta = plan.metadata["overcollection"]
+        builders = plan.operators(OperatorRole.SNAPSHOT_BUILDER)
+        assert len(builders) == meta["n"] + meta["m"]
+        # the exposure bound never exceeds the privacy knob
+        assert meta["snapshot_cardinality"] / meta["n"] <= max_raw + meta["n"]
+
+    @given(
+        p_low=st.floats(min_value=0.0, max_value=0.4),
+        delta=st.floats(min_value=0.0, max_value=0.4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_margin_monotone_in_fault_rate(self, p_low, delta):
+        from repro.core.resiliency import minimum_overcollection
+
+        low = minimum_overcollection(8, p_low, 0.99)
+        high = minimum_overcollection(8, min(p_low + delta, 0.89), 0.99)
+        assert high >= low
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_plan_serialization_round_trip(self, seed):
+        planner = EdgeletPlanner(
+            privacy=PrivacyParameters(max_raw_per_edgelet=50 + seed),
+        )
+        spec = QuerySpec(
+            query_id=f"ser-{seed}", kind="aggregate",
+            snapshot_cardinality=200,
+            group_by=parse_query(_SQL_TEMPLATE).query,
+        )
+        plan = planner.plan(spec, n_contributors=4)
+        rebuilt = QueryExecutionPlan.from_dict(plan.to_dict())
+        assert rebuilt.to_dict() == plan.to_dict()
+        rebuilt.validate()
+
+
+class TestSQLRoundTrip:
+    """Queries rendered from random specs parse back to themselves."""
+
+    functions = st.sampled_from(["count", "sum", "min", "max", "avg", "var", "std"])
+    columns = st.sampled_from(["age", "bmi", "glucose"])
+
+    @given(
+        specs=st.lists(
+            st.tuples(functions, columns), min_size=1, max_size=4
+        ),
+        group_columns=st.lists(
+            st.sampled_from(["region", "sex"]), unique=True, max_size=2
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_render_parse_round_trip(self, specs, group_columns):
+        select_list = ", ".join(
+            "count(*)" if fn == "count" else f"{fn}({column})"
+            for fn, column in specs
+        )
+        sql = f"SELECT {select_list} FROM t"
+        if group_columns:
+            sql += " GROUP BY " + ", ".join(group_columns)
+        parsed = parse_query(sql)
+        expected = tuple(
+            AggregateSpec("count") if fn == "count" else AggregateSpec(fn, column)
+            for fn, column in specs
+        )
+        assert parsed.query.aggregates == expected
+        assert parsed.query.grouping_sets == (
+            (tuple(group_columns),) if group_columns else ((),)
+        )

@@ -1,0 +1,129 @@
+"""Tests for centralized K-Means and Mini-batch K-Means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.kmeans import kmeans, kmeans_plus_plus_init, mini_batch_kmeans
+from repro.ml.metrics import inertia
+
+
+def _blobs(n_per_cluster=50, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.vstack(
+        [center + rng.standard_normal((n_per_cluster, 2)) for center in centers]
+    )
+    return points, centers
+
+
+class TestInit:
+    def test_plus_plus_returns_k_centroids(self):
+        points, _ = _blobs()
+        centroids = kmeans_plus_plus_init(points, 3, np.random.default_rng(1))
+        assert centroids.shape == (3, 2)
+
+    def test_plus_plus_spreads_over_clusters(self):
+        points, centers = _blobs()
+        centroids = kmeans_plus_plus_init(points, 3, np.random.default_rng(1))
+        # each true center should have an init centroid within distance 5
+        for center in centers:
+            distances = np.linalg.norm(centroids - center, axis=1)
+            assert distances.min() < 5.0
+
+    def test_k_validation(self):
+        points, _ = _blobs(n_per_cluster=2)
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(points, 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(points, 100, np.random.default_rng(0))
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 2))
+        centroids = kmeans_plus_plus_init(points, 3, np.random.default_rng(0))
+        assert centroids.shape == (3, 2)
+
+
+class TestLloyd:
+    def test_recovers_separated_clusters(self):
+        points, centers = _blobs()
+        result = kmeans(points, 3, seed=2)
+        assert result.converged
+        for center in centers:
+            distances = np.linalg.norm(result.centroids - center, axis=1)
+            assert distances.min() < 1.0
+
+    def test_labels_cover_all_points(self):
+        points, _ = _blobs()
+        result = kmeans(points, 3, seed=2)
+        assert result.labels.shape == (points.shape[0],)
+        assert set(np.unique(result.labels)) <= {0, 1, 2}
+
+    def test_inertia_matches_metric(self):
+        points, _ = _blobs()
+        result = kmeans(points, 3, seed=2)
+        assert result.inertia == pytest.approx(inertia(points, result.centroids))
+
+    def test_more_clusters_lower_inertia(self):
+        points, _ = _blobs()
+        few = kmeans(points, 2, seed=1).inertia
+        many = kmeans(points, 5, seed=1).inertia
+        assert many < few
+
+    def test_deterministic_given_seed(self):
+        points, _ = _blobs()
+        a = kmeans(points, 3, seed=7)
+        b = kmeans(points, 3, seed=7)
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_initial_centroids_honoured(self):
+        points, centers = _blobs()
+        result = kmeans(points, 3, initial_centroids=centers, max_iterations=1)
+        # starting at the truth, one step stays near the truth
+        for center in centers:
+            assert np.linalg.norm(result.centroids - center, axis=1).min() < 1.0
+
+    def test_initial_centroids_shape_checked(self):
+        points, _ = _blobs()
+        with pytest.raises(ValueError):
+            kmeans(points, 3, initial_centroids=np.zeros((2, 2)))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2)
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.array([1.0, 2.0]), 1)
+
+    def test_empty_cluster_reseeded(self):
+        # k=3 on 3 distinct points: every cluster must stay alive
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 10.0]])
+        result = kmeans(points, 3, seed=0)
+        assert len(set(result.labels.tolist())) == 3
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestMiniBatch:
+    def test_approaches_lloyd_quality(self):
+        points, _ = _blobs(n_per_cluster=100)
+        lloyd = kmeans(points, 3, seed=3)
+        mini = mini_batch_kmeans(points, 3, batch_size=64, max_iterations=150, seed=3)
+        assert mini.inertia < 2.0 * lloyd.inertia
+
+    def test_batch_size_validation(self):
+        points, _ = _blobs()
+        with pytest.raises(ValueError):
+            mini_batch_kmeans(points, 3, batch_size=0)
+
+    def test_deterministic_given_seed(self):
+        points, _ = _blobs()
+        a = mini_batch_kmeans(points, 3, seed=5)
+        b = mini_batch_kmeans(points, 3, seed=5)
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_initial_centroids_shape_checked(self):
+        points, _ = _blobs()
+        with pytest.raises(ValueError):
+            mini_batch_kmeans(points, 3, initial_centroids=np.zeros((1, 2)))

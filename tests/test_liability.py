@@ -1,0 +1,91 @@
+"""Tests for crowd-liability accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import assign_operators
+from repro.core.liability import gini_coefficient, measure_liability
+from repro.core.qep import OperatorRole, QueryExecutionPlan
+
+
+def _assigned_plan(n_computers=5, devices=None):
+    plan = QueryExecutionPlan("liab")
+    contributor = plan.new_operator(OperatorRole.DATA_CONTRIBUTOR, op_id="c")
+    builder = plan.new_operator(OperatorRole.SNAPSHOT_BUILDER, op_id="sb")
+    plan.connect(contributor, builder)
+    combiner = plan.new_operator(OperatorRole.COMPUTING_COMBINER, op_id="comb")
+    querier = plan.new_operator(OperatorRole.QUERIER, op_id="q")
+    for i in range(n_computers):
+        computer = plan.new_operator(OperatorRole.COMPUTER, op_id=f"comp{i}")
+        plan.connect(builder, computer)
+        plan.connect(computer, combiner)
+    plan.connect(combiner, querier)
+    device_list = devices or [f"d{i}" for i in range(20)]
+    assign_operators(plan, device_list, exclusive=len(device_list) >= n_computers + 2)
+    return plan
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([1, 1, 1, 1]) == pytest.approx(0.0)
+
+    def test_total_concentration(self):
+        # one holder of everything among many: approaches 1 - 1/n
+        value = gini_coefficient([0] * 99 + [100])
+        assert value == pytest.approx(0.99, abs=0.01)
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_scale_invariant(self):
+        assert gini_coefficient([1, 2, 3]) == pytest.approx(
+            gini_coefficient([10, 20, 30])
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([1, -1])
+
+    def test_known_value(self):
+        # two participants, shares (0, 1): Gini = 1/2
+        assert gini_coefficient([0, 1]) == pytest.approx(0.5)
+
+
+class TestLiabilityReport:
+    def test_exclusive_assignment_is_even(self):
+        report = measure_liability(_assigned_plan())
+        assert report.gini_operators == pytest.approx(0.0)
+        assert report.is_crowd_liable(max_allowed_share=0.2)
+
+    def test_shared_assignment_is_uneven(self):
+        plan = _assigned_plan(n_computers=6, devices=["d1", "d2"])
+        report = measure_liability(plan)
+        assert report.max_share >= 0.5
+        assert not report.is_crowd_liable(max_allowed_share=0.3)
+
+    def test_unassigned_plan_rejected(self):
+        plan = QueryExecutionPlan("bad")
+        contributor = plan.new_operator(OperatorRole.DATA_CONTRIBUTOR, op_id="c")
+        builder = plan.new_operator(OperatorRole.SNAPSHOT_BUILDER, op_id="sb")
+        querier = plan.new_operator(OperatorRole.QUERIER, op_id="q")
+        plan.connect(contributor, builder)
+        plan.connect(builder, querier)
+        with pytest.raises(ValueError):
+            measure_liability(plan)
+
+    def test_tuples_per_device_carried(self):
+        report = measure_liability(
+            _assigned_plan(), tuples_per_device={"d1": 100}
+        )
+        assert report.tuples_per_device == {"d1": 100}
+
+    def test_share_threshold_validation(self):
+        report = measure_liability(_assigned_plan())
+        with pytest.raises(ValueError):
+            report.is_crowd_liable(max_allowed_share=0.0)
+
+    def test_summary_keys(self):
+        summary = measure_liability(_assigned_plan()).summary()
+        assert set(summary) == {"participants", "gini_operators", "max_share"}

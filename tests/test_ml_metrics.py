@@ -1,0 +1,107 @@
+"""Tests for clustering quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    assignment_agreement,
+    centroid_matching_distance,
+    inertia,
+    relative_inertia_gap,
+)
+
+
+class TestInertia:
+    def test_zero_when_points_are_centroids(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert inertia(points, points) == 0.0
+
+    def test_known_value(self):
+        points = np.array([[0.0, 0.0], [2.0, 0.0]])
+        centroids = np.array([[1.0, 0.0]])
+        assert inertia(points, centroids) == pytest.approx(2.0)
+
+    def test_uses_closest_centroid(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0]])
+        centroids = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert inertia(points, centroids) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            inertia(np.array([1.0]), np.array([[0.0]]))
+
+
+class TestRelativeGap:
+    def test_zero_for_identical(self):
+        points = np.random.default_rng(0).standard_normal((30, 2))
+        centroids = np.array([[0.0, 0.0]])
+        assert relative_inertia_gap(points, centroids, centroids) == 0.0
+
+    def test_positive_for_worse_candidate(self):
+        points = np.vstack(
+            [
+                np.random.default_rng(0).standard_normal((30, 2)),
+                np.random.default_rng(1).standard_normal((30, 2)) + 10,
+            ]
+        )
+        good = np.array([[0.0, 0.0], [10.0, 10.0]])
+        bad = np.array([[5.0, 5.0], [5.0, 5.1]])
+        assert relative_inertia_gap(points, bad, good) > 0.0
+
+    def test_degenerate_reference(self):
+        points = np.array([[1.0, 1.0]])
+        perfect = np.array([[1.0, 1.0]])
+        off = np.array([[0.0, 0.0]])
+        assert relative_inertia_gap(points, perfect, perfect) == 0.0
+        assert relative_inertia_gap(points, off, perfect) == float("inf")
+
+
+class TestCentroidMatching:
+    def test_zero_for_identical_sets(self):
+        centroids = np.array([[0.0, 0.0], [5.0, 5.0]])
+        assert centroid_matching_distance(centroids, centroids) == 0.0
+
+    def test_permutation_invariant(self):
+        a = np.array([[0.0, 0.0], [5.0, 5.0]])
+        b = np.array([[5.0, 5.0], [0.0, 0.0]])
+        assert centroid_matching_distance(a, b) == 0.0
+
+    def test_known_distance(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert centroid_matching_distance(a, b) == pytest.approx(5.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            centroid_matching_distance(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestAssignmentAgreement:
+    def test_identical_labelings(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert assignment_agreement(labels, labels) == 1.0
+
+    def test_permuted_labels_still_agree(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert assignment_agreement(a, b) == 1.0
+
+    def test_complete_disagreement(self):
+        a = np.array([0, 0, 0, 0])
+        b = np.array([0, 1, 2, 3])
+        assert assignment_agreement(a, b) == 0.0
+
+    def test_partial_agreement_bounded(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 1, 1])
+        agreement = assignment_agreement(a, b)
+        assert 0.0 < agreement < 1.0
+
+    def test_single_point(self):
+        assert assignment_agreement(np.array([0]), np.array([5])) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            assignment_agreement(np.array([0, 1]), np.array([0]))

@@ -1,0 +1,130 @@
+"""Tests for contact-schedule mobility models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.mobility import (
+    CaregiverRounds,
+    ContactSchedule,
+    RandomWaypointContacts,
+)
+from repro.network.opnet import NetworkConfig, OpportunisticNetwork
+from repro.network.simulator import Simulator
+from repro.network.topology import ContactGraph, LinkQuality
+
+
+class TestContactSchedule:
+    def test_window_validation(self):
+        schedule = ContactSchedule()
+        with pytest.raises(ValueError):
+            schedule.add_window("a", 5.0, 5.0)
+        with pytest.raises(ValueError):
+            schedule.add_window("a", -1.0, 5.0)
+
+    def test_online_fraction(self):
+        schedule = ContactSchedule()
+        schedule.add_window("a", 0.0, 10.0)
+        schedule.add_window("a", 50.0, 60.0)
+        assert schedule.online_fraction("a", 100.0) == pytest.approx(0.2)
+        assert schedule.online_fraction("missing", 100.0) == 0.0
+
+    def test_online_fraction_clips_to_horizon(self):
+        schedule = ContactSchedule()
+        schedule.add_window("a", 90.0, 200.0)
+        assert schedule.online_fraction("a", 100.0) == pytest.approx(0.1)
+
+    def test_is_online_at(self):
+        schedule = ContactSchedule()
+        schedule.add_window("a", 10.0, 20.0)
+        assert not schedule.is_online_at("a", 5.0)
+        assert schedule.is_online_at("a", 10.0)
+        assert schedule.is_online_at("a", 19.99)
+        assert not schedule.is_online_at("a", 20.0)
+
+    def test_install_drives_network_state(self):
+        simulator = Simulator()
+        topology = ContactGraph(default_quality=LinkQuality(base_latency=0.1))
+        network = OpportunisticNetwork(simulator, topology, NetworkConfig(), seed=0)
+        network.attach("box", lambda m: None)
+        schedule = ContactSchedule()
+        schedule.add_window("box", 10.0, 20.0)
+        schedule.install(simulator, network)
+        assert not network.is_online("box")  # offline before the visit
+        simulator.run_until(15.0)
+        assert network.is_online("box")
+        simulator.run_until(25.0)
+        assert not network.is_online("box")
+
+    def test_install_flushes_buffered_messages_at_contact(self):
+        from repro.network.messages import Message, MessageKind
+
+        simulator = Simulator()
+        quality = LinkQuality(base_latency=0.1, latency_jitter=0.0)
+        topology = ContactGraph(default_quality=quality)
+        topology.add_link("caregiver", "box", quality)
+        network = OpportunisticNetwork(
+            simulator, topology, NetworkConfig(buffer_timeout=None), seed=0
+        )
+        received = []
+        network.attach("caregiver", lambda m: None)
+        network.attach("box", received.append)
+        schedule = ContactSchedule()
+        schedule.add_window("box", 30.0, 40.0)
+        schedule.install(simulator, network)
+        network.send(Message(sender="caregiver", recipient="box",
+                             kind=MessageKind.CONTROL, payload="visit data"))
+        simulator.run_until(20.0)
+        assert received == []  # box offline, message waits
+        simulator.run_until(31.0)
+        assert len(received) == 1  # delivered during the visit
+
+
+class TestCaregiverRounds:
+    def test_every_device_visited_each_period(self):
+        rounds = CaregiverRounds(period=60.0, visit_duration=10.0, seed=1)
+        schedule = rounds.schedule(["box-1", "box-2", "box-3"], horizon=300.0)
+        for device in ("box-1", "box-2", "box-3"):
+            windows = schedule.windows[device]
+            assert len(windows) == 5  # one visit per period over 300s
+            for start, end in windows:
+                assert end - start <= 10.0 + 1e-9
+
+    def test_online_fraction_matches_duty_cycle(self):
+        rounds = CaregiverRounds(period=100.0, visit_duration=10.0, seed=2)
+        schedule = rounds.schedule(["box"], horizon=1000.0)
+        assert schedule.online_fraction("box", 1000.0) == pytest.approx(0.1, abs=0.02)
+
+    def test_phases_differ_between_devices(self):
+        rounds = CaregiverRounds(period=60.0, visit_duration=5.0, seed=3)
+        schedule = rounds.schedule([f"box-{i}" for i in range(10)], horizon=60.0)
+        starts = {schedule.windows[f"box-{i}"][0][0] for i in range(10)}
+        assert len(starts) > 5  # spread, not synchronized
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CaregiverRounds(period=0.0)
+        with pytest.raises(ValueError):
+            CaregiverRounds(period=10.0, visit_duration=20.0)
+        with pytest.raises(ValueError):
+            CaregiverRounds().schedule(["a"], horizon=0.0)
+
+
+class TestRandomWaypoint:
+    def test_mean_online_fraction(self):
+        model = RandomWaypointContacts(mean_intercontact=40.0, mean_duration=10.0, seed=4)
+        schedule = model.schedule([f"d{i}" for i in range(30)], horizon=2000.0)
+        fractions = [schedule.online_fraction(f"d{i}", 2000.0) for i in range(30)]
+        mean = sum(fractions) / len(fractions)
+        assert mean == pytest.approx(10.0 / 50.0, abs=0.08)
+
+    def test_deterministic_given_seed(self):
+        a = RandomWaypointContacts(seed=9).schedule(["x"], horizon=500.0)
+        b = RandomWaypointContacts(seed=9).schedule(["x"], horizon=500.0)
+        assert a.windows == b.windows
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypointContacts(mean_intercontact=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointContacts(mean_duration=-1.0)

@@ -1,0 +1,162 @@
+"""Tests for the QEP operator graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qep import (
+    Operator,
+    OperatorRole,
+    PlanStructureError,
+    QueryExecutionPlan,
+)
+
+
+def _minimal_plan() -> QueryExecutionPlan:
+    plan = QueryExecutionPlan("q")
+    contributor = plan.new_operator(OperatorRole.DATA_CONTRIBUTOR, op_id="c")
+    builder = plan.new_operator(OperatorRole.SNAPSHOT_BUILDER, op_id="sb")
+    computer = plan.new_operator(OperatorRole.COMPUTER, op_id="comp")
+    combiner = plan.new_operator(OperatorRole.COMPUTING_COMBINER, op_id="comb")
+    querier = plan.new_operator(OperatorRole.QUERIER, op_id="q0")
+    plan.connect(contributor, builder)
+    plan.connect(builder, computer)
+    plan.connect(computer, combiner)
+    plan.connect(combiner, querier)
+    return plan
+
+
+class TestConstruction:
+    def test_duplicate_op_id_rejected(self):
+        plan = QueryExecutionPlan("q")
+        plan.new_operator(OperatorRole.QUERIER, op_id="x")
+        with pytest.raises(PlanStructureError):
+            plan.add_operator(Operator("x", OperatorRole.COMPUTER))
+
+    def test_auto_ids_unique(self):
+        plan = QueryExecutionPlan("q")
+        a = plan.new_operator(OperatorRole.COMPUTER)
+        b = plan.new_operator(OperatorRole.COMPUTER)
+        assert a.op_id != b.op_id
+
+    def test_connect_unknown_operator(self):
+        plan = QueryExecutionPlan("q")
+        plan.new_operator(OperatorRole.QUERIER, op_id="x")
+        with pytest.raises(PlanStructureError):
+            plan.connect("x", "ghost")
+
+    def test_cycle_rejected(self):
+        plan = QueryExecutionPlan("q")
+        a = plan.new_operator(OperatorRole.COMPUTER, op_id="a")
+        b = plan.new_operator(OperatorRole.COMPUTER, op_id="b")
+        plan.connect(a, b)
+        with pytest.raises(PlanStructureError):
+            plan.connect(b, a)
+
+    def test_len_counts_operators(self):
+        assert len(_minimal_plan()) == 5
+
+
+class TestQueries:
+    def test_role_filter(self):
+        plan = _minimal_plan()
+        assert [op.op_id for op in plan.operators(OperatorRole.COMPUTER)] == ["comp"]
+
+    def test_producers_consumers(self):
+        plan = _minimal_plan()
+        assert [op.op_id for op in plan.producers_of("comp")] == ["sb"]
+        assert [op.op_id for op in plan.consumers_of("comp")] == ["comb"]
+
+    def test_fan_in_out(self):
+        plan = _minimal_plan()
+        assert plan.fan_in("comb") == 1
+        assert plan.fan_out("sb") == 1
+
+    def test_depth(self):
+        assert _minimal_plan().depth() == 4
+
+    def test_role_counts(self):
+        counts = _minimal_plan().role_counts()
+        assert counts["data_contributor"] == 1
+        assert counts["querier"] == 1
+
+    def test_data_processor_classification(self):
+        assert OperatorRole.SNAPSHOT_BUILDER.is_data_processor
+        assert OperatorRole.COMPUTER.is_data_processor
+        assert OperatorRole.ACTIVE_BACKUP.is_data_processor
+        assert not OperatorRole.QUERIER.is_data_processor
+        assert not OperatorRole.DATA_CONTRIBUTOR.is_data_processor
+
+
+class TestValidation:
+    def test_minimal_plan_valid(self):
+        _minimal_plan().validate()
+
+    def test_missing_querier(self):
+        plan = QueryExecutionPlan("q")
+        plan.new_operator(OperatorRole.DATA_CONTRIBUTOR, op_id="c")
+        with pytest.raises(PlanStructureError):
+            plan.validate()
+
+    def test_two_queriers_rejected(self):
+        plan = _minimal_plan()
+        plan.new_operator(OperatorRole.QUERIER, op_id="q1")
+        with pytest.raises(PlanStructureError):
+            plan.validate()
+
+    def test_querier_must_be_sink(self):
+        plan = _minimal_plan()
+        extra = plan.new_operator(OperatorRole.COMPUTER, op_id="after")
+        plan.connect("q0", extra)
+        plan.connect("c", extra)  # keep reachability satisfied
+        with pytest.raises(PlanStructureError):
+            plan.validate()
+
+    def test_contributor_must_be_source(self):
+        plan = _minimal_plan()
+        plan.connect("comb", plan.new_operator(OperatorRole.DATA_CONTRIBUTOR, op_id="c2").op_id)
+        with pytest.raises(PlanStructureError):
+            plan.validate()
+
+    def test_unreachable_operator_rejected(self):
+        plan = _minimal_plan()
+        plan.new_operator(OperatorRole.COMPUTER, op_id="orphan")
+        with pytest.raises(PlanStructureError):
+            plan.validate()
+
+    def test_active_backup_must_mirror(self):
+        plan = _minimal_plan()
+        backup = plan.new_operator(
+            OperatorRole.ACTIVE_BACKUP, params={"mirrors": "comb"}, op_id="bak"
+        )
+        plan.connect(backup, "q0")
+        with pytest.raises(PlanStructureError):
+            plan.validate()  # backup lacks the combiner's inputs
+        plan.connect("comp", backup)
+        plan.validate()
+
+    def test_active_backup_without_mirrors_param(self):
+        plan = _minimal_plan()
+        backup = plan.new_operator(OperatorRole.ACTIVE_BACKUP, op_id="bak")
+        plan.connect("comp", backup)
+        plan.connect(backup, "q0")
+        with pytest.raises(PlanStructureError):
+            plan.validate()
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = _minimal_plan()
+        plan.operator("comp").assigned_to = "device-1"
+        plan.metadata["kind"] = "aggregate"
+        rebuilt = QueryExecutionPlan.from_dict(plan.to_dict())
+        assert rebuilt.query_id == plan.query_id
+        assert rebuilt.edges() == plan.edges()
+        assert rebuilt.operator("comp").assigned_to == "device-1"
+        assert rebuilt.metadata["kind"] == "aggregate"
+        rebuilt.validate()
+
+    def test_assigned_devices(self):
+        plan = _minimal_plan()
+        plan.operator("comp").assigned_to = "d1"
+        assert plan.assigned_devices() == {"comp": "d1"}

@@ -1,0 +1,149 @@
+"""Tests for the Overcollection resiliency mathematics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.resiliency import (
+    effective_fault_rate,
+    minimum_overcollection,
+    partition_survival_probability,
+    query_success_probability,
+)
+
+
+class TestSurvivalProbability:
+    def test_single_message(self):
+        assert partition_survival_probability(0.1) == pytest.approx(0.9)
+
+    def test_multiple_messages_compound(self):
+        assert partition_survival_probability(0.1, 3) == pytest.approx(0.9**3)
+
+    def test_bounds(self):
+        assert partition_survival_probability(0.0) == 1.0
+        assert partition_survival_probability(1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_survival_probability(1.5)
+        with pytest.raises(ValueError):
+            partition_survival_probability(0.1, 0)
+
+
+class TestQuerySuccess:
+    def test_no_faults_certain_success(self):
+        assert query_success_probability(5, 0, 0.0) == 1.0
+
+    def test_no_overcollection_binomial(self):
+        # all n must survive
+        assert query_success_probability(3, 0, 0.1) == pytest.approx(0.9**3)
+
+    def test_overcollection_tolerates_m_losses(self):
+        # n=1, m=1, p=0.5: succeed unless both partitions die
+        assert query_success_probability(1, 1, 0.5) == pytest.approx(0.75)
+
+    def test_monotone_in_m(self):
+        probabilities = [query_success_probability(10, m, 0.2) for m in range(6)]
+        assert probabilities == sorted(probabilities)
+
+    def test_monotone_in_fault_rate(self):
+        probabilities = [
+            query_success_probability(10, 3, p) for p in (0.05, 0.1, 0.2, 0.4)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_certain_failure(self):
+        assert query_success_probability(2, 3, 1.0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            query_success_probability(0, 1, 0.1)
+        with pytest.raises(ValueError):
+            query_success_probability(1, -1, 0.1)
+        with pytest.raises(ValueError):
+            query_success_probability(1, 1, 1.2)
+
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        m=st.integers(min_value=0, max_value=15),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_is_a_probability(self, n, m, p):
+        value = query_success_probability(n, m, p)
+        assert 0.0 <= value <= 1.0
+
+
+class TestMinimumOvercollection:
+    def test_zero_fault_rate_needs_no_margin(self):
+        assert minimum_overcollection(10, 0.0) == 0
+
+    def test_meets_target(self):
+        for n in (1, 5, 20):
+            for p in (0.05, 0.1, 0.3):
+                m = minimum_overcollection(n, p, 0.99)
+                assert query_success_probability(n, m, p) >= 0.99
+                if m > 0:
+                    assert query_success_probability(n, m - 1, p) < 0.99
+
+    def test_m_grows_with_fault_rate(self):
+        ms = [minimum_overcollection(10, p, 0.99) for p in (0.05, 0.1, 0.2, 0.4)]
+        assert ms == sorted(ms)
+        assert ms[-1] > ms[0]
+
+    def test_m_grows_with_n(self):
+        ms = [minimum_overcollection(n, 0.1, 0.99) for n in (1, 5, 20, 50)]
+        assert ms == sorted(ms)
+
+    def test_m_grows_with_target(self):
+        low = minimum_overcollection(10, 0.2, 0.9)
+        high = minimum_overcollection(10, 0.2, 0.9999)
+        assert high > low
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            minimum_overcollection(5, 0.99, 0.999999, max_m=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_overcollection(5, 0.1, 1.5)
+        with pytest.raises(ValueError):
+            minimum_overcollection(5, 1.0, 0.99)
+
+    def test_relative_margin_shrinks_with_n(self):
+        """Law of large numbers: the overhead m/n decreases as n grows."""
+        small = minimum_overcollection(5, 0.1, 0.99) / 5
+        large = minimum_overcollection(100, 0.1, 0.99) / 100
+        assert large < small
+
+
+class TestEffectiveFaultRate:
+    def test_zero_everything(self):
+        assert effective_fault_rate(0.0, 0.0, 100) == 0.0
+
+    def test_crash_only(self):
+        rate = effective_fault_rate(0.01, 0.0, 10)
+        assert rate == pytest.approx(1 - 0.99**10)
+
+    def test_reconnect_discount(self):
+        harsh = effective_fault_rate(0.0, 0.1, 10, reconnect_covers=0.0)
+        gentle = effective_fault_rate(0.0, 0.1, 10, reconnect_covers=0.9)
+        assert gentle < harsh
+
+    def test_monotone_in_deadline(self):
+        rates = [effective_fault_rate(0.01, 0.01, t) for t in (1, 5, 20, 100)]
+        assert rates == sorted(rates)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_fault_rate(-0.1, 0.0, 1)
+        with pytest.raises(ValueError):
+            effective_fault_rate(0.0, 2.0, 1)
+        with pytest.raises(ValueError):
+            effective_fault_rate(0.0, 0.0, -1)
+        with pytest.raises(ValueError):
+            effective_fault_rate(0.0, 0.0, 1, reconnect_covers=1.5)

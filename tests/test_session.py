@@ -1,0 +1,83 @@
+"""Tests for multi-query sessions and cumulative crowd liability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import PrivacyParameters, QuerySpec, ResiliencyParameters
+from repro.data.health import HEALTH_SCHEMA, generate_health_rows
+from repro.manager.scenario import Scenario, ScenarioConfig
+from repro.manager.session import QuerySession
+from repro.query.sql import parse_query
+
+
+def _scenario(n_processors=40, seed=13):
+    rows = generate_health_rows(80, seed=seed)
+    config = ScenarioConfig(
+        n_contributors=40, n_processors=n_processors, rows=rows,
+        schema=HEALTH_SCHEMA, device_mix=(1.0, 0.0, 0.0),
+        collection_window=15.0, deadline=50.0, seed=seed,
+    )
+    return Scenario(config), rows
+
+
+def _spec(query_id: str, rows) -> QuerySpec:
+    sql = "SELECT count(*), avg(age) FROM health GROUP BY GROUPING SETS ((region), ())"
+    return QuerySpec(
+        query_id=query_id, kind="aggregate",
+        snapshot_cardinality=60, group_by=parse_query(sql).query,
+    )
+
+
+class TestQuerySession:
+    def test_sequential_queries_succeed(self):
+        scenario, rows = _scenario()
+        session = QuerySession(scenario)
+        specs = [_spec(f"session-q{i}", rows) for i in range(3)]
+        results = session.run_all(
+            specs, privacy=PrivacyParameters(max_raw_per_edgelet=30)
+        )
+        assert all(result.report.success for result in results)
+        summary = session.summary()
+        assert summary.queries_run == 3
+        assert summary.queries_succeeded == 3
+
+    def test_assignment_reshuffles_across_queries(self):
+        scenario, rows = _scenario()
+        session = QuerySession(scenario)
+        session.run_all(
+            [_spec(f"shuffle-q{i}", rows) for i in range(3)],
+            privacy=PrivacyParameters(max_raw_per_edgelet=30),
+        )
+        used = session.processors_used_by_query()
+        assert used[0] != used[1] or used[1] != used[2]
+
+    def test_cumulative_liability_spreads(self):
+        scenario, rows = _scenario(n_processors=60)
+        session = QuerySession(scenario)
+        session.run_all(
+            [_spec(f"liab-q{i}", rows) for i in range(4)],
+            privacy=PrivacyParameters(max_raw_per_edgelet=30),
+        )
+        summary = session.summary()
+        # over 4 queries, many distinct devices carry the processing
+        assert summary.distinct_processors > 10
+        assert summary.max_share < 0.2
+
+    def test_energy_accumulates(self):
+        scenario, rows = _scenario()
+        session = QuerySession(scenario)
+        session.run(_spec("energy-q0", rows),
+                    privacy=PrivacyParameters(max_raw_per_edgelet=30))
+        first = session.summary().energy.total_joules
+        session.run(_spec("energy-q1", rows),
+                    privacy=PrivacyParameters(max_raw_per_edgelet=30))
+        second = session.summary().energy.total_joules
+        assert second > first
+
+    def test_empty_session_summary(self):
+        scenario, _ = _scenario()
+        summary = QuerySession(scenario).summary()
+        assert summary.queries_run == 0
+        assert summary.cumulative_gini == 0.0
+        assert summary.energy.total_joules == 0.0

@@ -1,0 +1,157 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.simulator import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_schedule_from_within_event(self):
+        sim = Simulator()
+        fired = []
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        count = sim.run_until(3.0)
+        assert count == 1
+        assert fired == [1]
+        assert sim.now == 3.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_deadline_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_event_exactly_at_deadline_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run_until(3.0)
+        assert fired == [3]
+
+
+class TestRecurring:
+    def test_every_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), until=5.0)
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_every_cancel_stops(self):
+        sim = Simulator()
+        ticks = []
+        cancel = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(3.0)
+        cancel()
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)
+
+
+class TestBookkeeping:
+    def test_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed == 4
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 2
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule(1.0, lambda: None)
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+        assert sim.processed == 0
+
+    def test_step_on_empty_queue(self):
+        assert Simulator().step() is False

@@ -1,0 +1,150 @@
+"""Tests for the SQL dialect parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.aggregates import AggregateSpec
+from repro.query.sql import SQLSyntaxError, parse_query
+
+
+class TestSelectList:
+    def test_count_star(self):
+        parsed = parse_query("SELECT count(*) FROM t")
+        assert parsed.table == "t"
+        assert parsed.query.aggregates == (AggregateSpec("count"),)
+
+    def test_multiple_aggregates(self):
+        parsed = parse_query("SELECT count(*), avg(age), sum(bmi) FROM t")
+        assert [s.function for s in parsed.query.aggregates] == ["count", "avg", "sum"]
+        assert [s.column for s in parsed.query.aggregates] == [None, "age", "bmi"]
+
+    def test_alias(self):
+        parsed = parse_query("SELECT avg(age) AS mean_age FROM t")
+        assert parsed.query.aggregates[0].output_name == "mean_age"
+
+    def test_case_insensitive_keywords(self):
+        parsed = parse_query("select COUNT(*) from t where age > 1 group by region")
+        assert parsed.query.where is not None
+
+    def test_all_functions(self):
+        sql = "SELECT count(*), sum(v), min(v), max(v), avg(v), var(v), std(v) FROM t"
+        parsed = parse_query(sql)
+        assert len(parsed.query.aggregates) == 7
+
+    def test_non_aggregate_select_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT age FROM t")
+
+
+class TestWhere:
+    def test_comparison(self):
+        parsed = parse_query("SELECT count(*) FROM t WHERE age > 65")
+        assert parsed.query.where.evaluate({"age": 70})
+        assert not parsed.query.where.evaluate({"age": 60})
+
+    def test_string_literal(self):
+        parsed = parse_query("SELECT count(*) FROM t WHERE region = 'idf'")
+        assert parsed.query.where.evaluate({"region": "idf"})
+
+    def test_escaped_quote(self):
+        parsed = parse_query("SELECT count(*) FROM t WHERE name = 'O''Brien'")
+        assert parsed.query.where.evaluate({"name": "O'Brien"})
+
+    def test_in_list(self):
+        parsed = parse_query(
+            "SELECT count(*) FROM t WHERE region IN ('idf', 'paca')"
+        )
+        assert parsed.query.where.evaluate({"region": "paca"})
+        assert not parsed.query.where.evaluate({"region": "bretagne"})
+
+    def test_and_or_not_precedence(self):
+        parsed = parse_query(
+            "SELECT count(*) FROM t WHERE age > 65 AND region = 'idf' OR sex = 'F'"
+        )
+        # (age>65 AND region=idf) OR sex=F
+        assert parsed.query.where.evaluate({"age": 60, "region": "x", "sex": "F"})
+        assert not parsed.query.where.evaluate({"age": 60, "region": "idf", "sex": "M"})
+
+    def test_parentheses(self):
+        parsed = parse_query(
+            "SELECT count(*) FROM t WHERE age > 65 AND (region = 'idf' OR sex = 'F')"
+        )
+        assert not parsed.query.where.evaluate({"age": 60, "region": "idf", "sex": "F"})
+        assert parsed.query.where.evaluate({"age": 70, "region": "x", "sex": "F"})
+
+    def test_not(self):
+        parsed = parse_query("SELECT count(*) FROM t WHERE NOT age > 65")
+        assert parsed.query.where.evaluate({"age": 60})
+
+    def test_numeric_literals(self):
+        parsed = parse_query("SELECT count(*) FROM t WHERE bmi >= 22.5")
+        assert parsed.query.where.evaluate({"bmi": 23.0})
+
+    def test_negative_number(self):
+        parsed = parse_query("SELECT count(*) FROM t WHERE delta > -5")
+        assert parsed.query.where.evaluate({"delta": 0})
+
+    def test_boolean_and_null_literals(self):
+        parsed = parse_query("SELECT count(*) FROM t WHERE active = true")
+        assert parsed.query.where.evaluate({"active": True})
+
+
+class TestGroupBy:
+    def test_plain_group_by(self):
+        parsed = parse_query("SELECT count(*) FROM t GROUP BY region, sex")
+        assert parsed.query.grouping_sets == (("region", "sex"),)
+
+    def test_no_group_by_is_grand_total(self):
+        parsed = parse_query("SELECT count(*) FROM t")
+        assert parsed.query.grouping_sets == ((),)
+
+    def test_grouping_sets(self):
+        parsed = parse_query(
+            "SELECT count(*) FROM t "
+            "GROUP BY GROUPING SETS ((region), (sex), (region, sex), ())"
+        )
+        assert parsed.query.grouping_sets == (
+            ("region",), ("sex",), ("region", "sex"), (),
+        )
+
+    def test_demo_query_parses(self):
+        sql = (
+            "SELECT count(*), avg(age), avg(bmi) FROM health "
+            "WHERE age > 65 "
+            "GROUP BY GROUPING SETS ((region), (sex), (region, sex), ())"
+        )
+        parsed = parse_query(sql)
+        assert parsed.table == "health"
+        assert len(parsed.query.grouping_sets) == 4
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "SELECT",
+            "SELECT count(* FROM t",
+            "SELECT count(*) FROM",
+            "SELECT count(*) FROM t WHERE",
+            "SELECT count(*) FROM t GROUP region",
+            "SELECT count(*) FROM t trailing garbage",
+            "SELECT count(*) FROM t WHERE age >",
+            "SELECT count(*) FROM t WHERE age ! 5",
+            "SELECT count(*) FROM t GROUP BY GROUPING SETS ()",
+            "SELECT count(*) FROM t WHERE age IN ()",
+        ],
+    )
+    def test_syntax_errors(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_query(sql)
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT count(*) FROM t WHERE age > 65 ;")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            parse_query("SELECT count(*) FROM t WHERE age ? 5")
+        assert "position" in str(excinfo.value) or "character" in str(excinfo.value)

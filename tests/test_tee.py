@@ -1,0 +1,117 @@
+"""Tests for the TEE abstraction and the sealed-glass threat model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.tee import (
+    SealedGlassObserver,
+    TEEError,
+    TEEKind,
+    TrustedExecutionEnvironment,
+)
+
+
+class TestTEECreation:
+    def test_same_code_same_measurement(self):
+        a = TrustedExecutionEnvironment.create(TEEKind.SGX)
+        b = TrustedExecutionEnvironment.create(TEEKind.TPM)
+        assert a.measurement == b.measurement  # same runtime code
+
+    def test_different_code_different_measurement(self):
+        a = TrustedExecutionEnvironment.create(TEEKind.SGX, code_identity="v1")
+        b = TrustedExecutionEnvironment.create(TEEKind.SGX, code_identity="v2")
+        assert a.measurement != b.measurement
+
+    def test_seeded_identity_deterministic(self):
+        a = TrustedExecutionEnvironment.create(TEEKind.SGX, seed=b"s")
+        b = TrustedExecutionEnvironment.create(TEEKind.SGX, seed=b"s")
+        assert a.identity == b.identity
+
+    def test_unseeded_identities_unique(self):
+        a = TrustedExecutionEnvironment.create(TEEKind.SGX)
+        b = TrustedExecutionEnvironment.create(TEEKind.SGX)
+        assert a.identity != b.identity
+
+
+class TestSealedStorage:
+    def test_seal_unseal_round_trip(self):
+        tee = TrustedExecutionEnvironment.create(TEEKind.TPM, seed=b"box")
+        blob = tee.seal({"centroids": [1, 2, 3]})
+        assert tee.unseal(blob) == {"centroids": [1, 2, 3]}
+
+    def test_foreign_blob_rejected(self):
+        a = TrustedExecutionEnvironment.create(TEEKind.SGX, seed=b"a")
+        b = TrustedExecutionEnvironment.create(TEEKind.SGX, seed=b"b")
+        blob = a.seal([1, 2])
+        with pytest.raises(TEEError):
+            b.unseal(blob)
+
+    def test_sealing_binds_measurement(self):
+        a = TrustedExecutionEnvironment.create(TEEKind.SGX, seed=b"a", code_identity="v1")
+        b = TrustedExecutionEnvironment(
+            kind=TEEKind.SGX,
+            measurement=TrustedExecutionEnvironment.create(
+                TEEKind.SGX, code_identity="v2"
+            ).measurement,
+            keypair=a.keypair,
+        )
+        blob = a.seal("state")
+        with pytest.raises(TEEError):
+            b.unseal(blob)
+
+    def test_tampered_blob_rejected(self):
+        tee = TrustedExecutionEnvironment.create(TEEKind.SGX, seed=b"x")
+        blob = bytearray(tee.seal("data"))
+        blob[-1] ^= 0x01
+        with pytest.raises(TEEError):
+            tee.unseal(bytes(blob))
+
+
+class TestSealedGlass:
+    def test_honest_tee_leaks_nothing(self):
+        observer = SealedGlassObserver()
+        tee = TrustedExecutionEnvironment.create(TEEKind.SGX, observer=observer)
+        tee.process_cleartext([{"age": 70}])
+        assert observer.total_exposed() == 0
+
+    def test_compromised_tee_leaks_everything(self):
+        observer = SealedGlassObserver()
+        tee = TrustedExecutionEnvironment.create(TEEKind.SGX)
+        tee.compromise(observer)
+        rows = [{"age": 70}, {"age": 81}]
+        returned = tee.process_cleartext(rows)
+        assert returned == rows  # processing is unaffected (integrity)
+        assert observer.exposed_items(tee.identity) == rows
+        assert observer.total_exposed() == 2
+
+    def test_observer_tracks_multiple_tees(self):
+        observer = SealedGlassObserver()
+        a = TrustedExecutionEnvironment.create(TEEKind.SGX, seed=b"a")
+        b = TrustedExecutionEnvironment.create(TEEKind.TPM, seed=b"b")
+        a.compromise(observer)
+        b.compromise(observer)
+        a.process_cleartext([1])
+        b.process_cleartext([2, 3])
+        assert set(observer.exposed_tees()) == {a.identity, b.identity}
+        assert observer.total_exposed() == 3
+
+    def test_compromise_preserves_attestation(self):
+        # sealed glass keeps integrity: the key pair still signs
+        from repro.devices.attestation import AttestationAuthority
+
+        observer = SealedGlassObserver()
+        tee = TrustedExecutionEnvironment.create(TEEKind.SGX, seed=b"c")
+        tee.compromise(observer)
+        authority = AttestationAuthority()
+        authority.trust_measurement(tee.measurement)
+        authority.register_device(tee)
+        assert authority.attest(tee)
+
+    def test_observer_clear(self):
+        observer = SealedGlassObserver()
+        tee = TrustedExecutionEnvironment.create(TEEKind.SGX)
+        tee.compromise(observer)
+        tee.process_cleartext(["secret"])
+        observer.clear()
+        assert observer.total_exposed() == 0

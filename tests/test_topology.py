@@ -1,0 +1,139 @@
+"""Tests for contact graphs and link quality."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.topology import ContactGraph, LinkQuality
+
+
+class TestLinkQuality:
+    def test_defaults_valid(self):
+        quality = LinkQuality()
+        assert quality.base_latency > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkQuality(base_latency=-1)
+        with pytest.raises(ValueError):
+            LinkQuality(latency_jitter=1.0)
+        with pytest.raises(ValueError):
+            LinkQuality(loss_probability=1.5)
+        with pytest.raises(ValueError):
+            LinkQuality(bandwidth=0)
+
+    def test_sample_latency_includes_transfer_time(self):
+        quality = LinkQuality(base_latency=1.0, latency_jitter=0.0, bandwidth=100.0)
+        rng = random.Random(0)
+        assert quality.sample_latency(200, rng) == pytest.approx(1.0 + 2.0)
+
+    def test_jitter_bounds(self):
+        quality = LinkQuality(base_latency=1.0, latency_jitter=0.5, bandwidth=1e9)
+        rng = random.Random(0)
+        samples = [quality.sample_latency(1, rng) for _ in range(200)]
+        assert all(0.5 <= s <= 1.5 + 1e-6 for s in samples)
+
+    def test_scaled_changes_only_loss(self):
+        quality = LinkQuality(base_latency=2.0, loss_probability=0.1)
+        scaled = quality.scaled(0.5)
+        assert scaled.loss_probability == 0.5
+        assert scaled.base_latency == 2.0
+
+
+class TestContactGraph:
+    def test_add_and_query_devices(self):
+        graph = ContactGraph()
+        graph.add_device("a")
+        graph.add_device("b")
+        assert graph.devices == ["a", "b"]
+        assert graph.has_device("a")
+        assert not graph.has_device("z")
+
+    def test_self_link_rejected(self):
+        graph = ContactGraph()
+        graph.add_device("a")
+        with pytest.raises(ValueError):
+            graph.add_link("a", "a")
+
+    def test_link_quality_lookup(self):
+        quality = LinkQuality(base_latency=9.0)
+        graph = ContactGraph()
+        graph.add_link("a", "b", quality)
+        assert graph.quality("a", "b") is quality
+        assert graph.quality("b", "a") is quality
+        assert graph.quality("a", "z") is None
+
+    def test_remove_link(self):
+        graph = ContactGraph()
+        graph.add_link("a", "b")
+        graph.remove_link("a", "b")
+        assert graph.quality("a", "b") is None
+        graph.remove_link("a", "b")  # idempotent
+
+    def test_neighbors_sorted(self):
+        graph = ContactGraph()
+        graph.add_link("a", "c")
+        graph.add_link("a", "b")
+        assert graph.neighbors("a") == ["b", "c"]
+        assert graph.neighbors("missing") == []
+
+    def test_path_multi_hop(self):
+        graph = ContactGraph()
+        graph.add_link("a", "b")
+        graph.add_link("b", "c")
+        assert graph.path("a", "c") == ["a", "b", "c"]
+
+    def test_path_none_when_disconnected(self):
+        graph = ContactGraph()
+        graph.add_device("a")
+        graph.add_device("b")
+        assert graph.path("a", "b") is None
+
+    def test_is_connected(self):
+        graph = ContactGraph()
+        assert graph.is_connected()
+        graph.add_link("a", "b")
+        assert graph.is_connected()
+        graph.add_device("c")
+        assert not graph.is_connected()
+
+    def test_degree_histogram(self):
+        graph = ContactGraph()
+        graph.add_link("a", "b")
+        graph.add_link("a", "c")
+        assert graph.degree_histogram() == {2: 1, 1: 2}
+
+
+class TestGenerators:
+    def test_fully_connected(self):
+        ids = [f"d{i}" for i in range(5)]
+        graph = ContactGraph.fully_connected(ids)
+        assert graph.is_connected()
+        for device in ids:
+            assert len(graph.neighbors(device)) == 4
+
+    def test_community_connects_swarm(self):
+        ids = [f"d{i}" for i in range(30)]
+        graph = ContactGraph.community(ids, n_communities=4, seed=2)
+        assert sorted(graph.devices) == sorted(ids)
+        assert graph.is_connected()
+
+    def test_community_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            ContactGraph.community(["a"], n_communities=0)
+
+    def test_random_geometric_radius_effect(self):
+        ids = [f"d{i}" for i in range(40)]
+        sparse = ContactGraph.random_geometric(ids, radius=0.05, seed=1)
+        dense = ContactGraph.random_geometric(ids, radius=0.9, seed=1)
+        sparse_edges = sum(len(sparse.neighbors(d)) for d in ids)
+        dense_edges = sum(len(dense.neighbors(d)) for d in ids)
+        assert dense_edges > sparse_edges
+
+    def test_random_geometric_deterministic(self):
+        ids = [f"d{i}" for i in range(10)]
+        a = ContactGraph.random_geometric(ids, radius=0.3, seed=5)
+        b = ContactGraph.random_geometric(ids, radius=0.3, seed=5)
+        assert [a.neighbors(d) for d in ids] == [b.neighbors(d) for d in ids]
