@@ -60,9 +60,15 @@ def run_once(
     max_raw: int = 50,
     fault_rate: float = 0.1,
     target_success: float = 0.99,
+    telemetry=None,
 ):
-    """Build a scenario and execute one query; returns the result."""
-    scenario = Scenario(config)
+    """Build a scenario and execute one query; returns the result.
+
+    Pass a fresh :class:`repro.telemetry.Telemetry` to capture this
+    run's counters/spans/profiles in isolation from the process-wide
+    default registry.
+    """
+    scenario = Scenario(config, telemetry=telemetry)
     return scenario.run_query(
         spec,
         privacy=PrivacyParameters(max_raw_per_edgelet=max_raw),

@@ -14,12 +14,13 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 from _scenarios import aggregate_spec, fast_scenario_config, run_once
-from _tables import print_table
+from _tables import print_table, print_telemetry_table
 
 from repro.data.health import HEALTH_SCHEMA
 from repro.manager.trace import phase_timeline
 from repro.manager.verification import verify_against_centralized
 from repro.query.relation import Relation
+from repro.telemetry import Telemetry
 
 
 def test_part2_three_phase_execution(benchmark):
@@ -30,7 +31,9 @@ def test_part2_three_phase_execution(benchmark):
         deadline=90.0,
     )
     spec = aggregate_spec("part2", cardinality=1500)
-    result = run_once(config, spec, max_raw=300, fault_rate=0.15)
+    telemetry = Telemetry()
+    result = run_once(config, spec, max_raw=300, fault_rate=0.15,
+                      telemetry=telemetry)
     report = result.report
     timeline = phase_timeline(report)
     print_table(
@@ -59,6 +62,7 @@ def test_part2_three_phase_execution(benchmark):
              outcome.validity.mean_relative_error],
         ],
     )
+    print_telemetry_table("P2: run telemetry", telemetry)
     assert report.success
     assert outcome.validity.missing_groups == 0
 

@@ -9,6 +9,10 @@ A text substitute for the demonstration GUI.  Subcommands:
 * ``resiliency`` — print the overcollection table for a fault-rate
   sweep (the failure slider).
 
+``run`` and ``kmeans`` accept ``--metrics-out PATH`` to write the
+telemetry JSONL export and ``--telemetry`` to print the summary table
+(counters, phase spans, wall-clock vs simulated time).
+
 Examples::
 
     python -m repro.cli plan --cardinality 2000 --max-raw 200 \
@@ -38,6 +42,7 @@ from repro.manager.scenario import Scenario, ScenarioConfig
 from repro.manager.verification import verify_against_centralized
 from repro.query.relation import Relation
 from repro.query.sql import parse_query
+from repro.telemetry import Telemetry, render_summary, write_jsonl
 
 __all__ = ["main", "build_parser"]
 
@@ -99,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
                      default="overcollection")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--show-plan", action="store_true")
+    run.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write the telemetry JSONL export to PATH")
+    run.add_argument("--telemetry", action="store_true",
+                     help="print the telemetry summary table")
 
     kmeans = sub.add_parser("kmeans", help="execute the distributed K-Means query")
     kmeans.add_argument("--contributors", type=int, default=150)
@@ -110,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     kmeans.add_argument("--max-raw", type=int, default=80)
     kmeans.add_argument("--fault-rate", type=float, default=0.15)
     kmeans.add_argument("--seed", type=int, default=0)
+    kmeans.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the telemetry JSONL export to PATH")
+    kmeans.add_argument("--telemetry", action="store_true",
+                        help="print the telemetry summary table")
 
     resiliency = sub.add_parser(
         "resiliency", help="overcollection table for a fault-rate sweep"
@@ -154,6 +167,22 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
+    """Write the JSONL export and/or print the summary, as requested."""
+    if args.metrics_out:
+        try:
+            lines = write_jsonl(telemetry, args.metrics_out)
+        except OSError as exc:
+            print(
+                f"telemetry: cannot write {args.metrics_out}: {exc}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"telemetry: {lines} records written to {args.metrics_out}")
+    if args.telemetry:
+        print(render_summary(telemetry))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     rows = generate_health_rows(args.rows, seed=args.seed)
     config = ScenarioConfig(
@@ -167,7 +196,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         secure_channels=args.secure_channels,
         seed=args.seed,
     )
-    scenario = Scenario(config)
+    telemetry = Telemetry()
+    scenario = Scenario(config, telemetry=telemetry)
     parsed = parse_query(args.sql)
     spec = QuerySpec(
         query_id="cli-run", kind="aggregate",
@@ -184,6 +214,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(render_plan(result.plan))
         print()
     print(render_report(result.report))
+    _emit_telemetry(args, telemetry)
     if result.report.success and (parsed.order_by or parsed.limit is not None):
         print("  presented (ORDER BY / LIMIT applied):")
         for row in parsed.present(result.report.result.all_rows()):
@@ -212,7 +243,8 @@ def _cmd_kmeans(args: argparse.Namespace) -> int:
         device_mix=(1.0, 0.0, 0.0),
         seed=args.seed,
     )
-    scenario = Scenario(config)
+    telemetry = Telemetry()
+    scenario = Scenario(config, telemetry=telemetry)
     spec = QuerySpec(
         query_id="cli-kmeans", kind="kmeans",
         snapshot_cardinality=args.cardinality, kmeans_k=args.k,
@@ -225,6 +257,7 @@ def _cmd_kmeans(args: argparse.Namespace) -> int:
         resiliency=ResiliencyParameters(fault_rate=args.fault_rate),
     )
     print(render_report(result.report))
+    _emit_telemetry(args, telemetry)
     if result.report.success and result.report.kmeans is not None:
         for centroid, weight in zip(
             result.report.kmeans.centroids, result.report.kmeans.weights

@@ -100,6 +100,9 @@ class BackupExecutor(EdgeletExecutor):
         # per base+listening-device pair)
         self._shipped_heard: dict[str, set[str]] = {}
         self.takeover_log: list[tuple[float, str, int]] = []
+        self._m_takeovers = self.telemetry.metrics.counter(
+            "exec.backup_takeovers", query=self.plan.query_id
+        )
 
     # -- collection --------------------------------------------------------------
 
@@ -143,6 +146,7 @@ class BackupExecutor(EdgeletExecutor):
                     return  # a lower rank already shipped; stand down
                 self.takeover_log.append((self.simulator.now, base, rank))
                 self._trace(f"{operator.op_id} takes over {base}")
+                self._m_takeovers.inc()
             if not self.network.is_online(device.device_id):
                 self._trace(f"{operator.op_id} offline, cannot ship {base}")
                 return
@@ -159,6 +163,8 @@ class BackupExecutor(EdgeletExecutor):
                 f"{operator.op_id} snapshot frozen: {len(rows)} rows, "
                 f"merkle={commitment[:12]}…"
             )
+            self._mark_collection_end()
+            self._m_snapshots.inc()
             self._ship_partition(operator, device, rows, commitment)
             self._announce_shipped(base, operator, device)
         return fire
@@ -237,11 +243,13 @@ class BackupExecutor(EdgeletExecutor):
                 (self.simulator.now, base, _rank_of(operator))
             )
             self._trace(f"{operator.op_id} takes over {base}")
+            self._m_takeovers.inc()
             self._fire_computer(base, operator, device)
         return fire
 
     def _fire_computer(self, base: str, operator: Operator, device) -> None:
         if not self.network.is_online(device.device_id):
+            self._mark_computation_start()
             self._trace(f"{operator.op_id} offline, partial lost")
             return
         rows = self._rows_by_op.get(operator.op_id, [])
@@ -252,7 +260,8 @@ class BackupExecutor(EdgeletExecutor):
             grouping_sets=self.query.grouping_sets,
             aggregates=tuple(self.query.aggregates[i] for i in indices),
         )
-        partial = evaluate_group_by(sub_query, rows)
+        with self._prof_aggregate:
+            partial = evaluate_group_by(sub_query, rows)
         payload = {
             "__aggregate__": True,
             "partition_index": operator.params["partition_index"],
@@ -262,6 +271,7 @@ class BackupExecutor(EdgeletExecutor):
         latency = device.compute_latency(float(max(len(rows), 1)))
 
         def send() -> None:
+            self._mark_computation_start()
             if not self.network.is_online(device.device_id):
                 self._trace(f"{operator.op_id} offline, partial lost")
                 return

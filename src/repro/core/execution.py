@@ -94,11 +94,18 @@ class ExecutionReport:
         completion_time: virtual time of result delivery.
         network_stats: counters from the opportunistic network.
         tuples_per_device: raw tuples handled per processing device.
-        trace: time-ordered human-readable event log.
+        trace: time-ordered human-readable event log (a rendered view;
+            the telemetry spans are the structured source of truth).
         heartbeats_run: heartbeats executed (kmeans only).
         convergence_trace: per-heartbeat mean centroid shift across the
             live Computers (kmeans only) — the "follow the execution in
             real time" signal the demo GUI plots.
+        telemetry: the :class:`repro.telemetry.Telemetry` this execution
+            recorded into.
+        phase_spans: this execution's phase spans, keyed by phase name
+            (``execution``/``collection``/``computation``/
+            ``combination``); consumed by
+            :func:`repro.manager.trace.phase_timeline`.
     """
 
     query_id: str
@@ -114,6 +121,8 @@ class ExecutionReport:
     trace: list[tuple[float, str]] = field(default_factory=list)
     heartbeats_run: int = 0
     convergence_trace: list[tuple[int, float]] = field(default_factory=list)
+    telemetry: Any = None
+    phase_spans: dict[str, Any] = field(default_factory=dict)
 
 
 class _CombinerRuntime:
@@ -281,6 +290,9 @@ class EdgeletExecutor:
             :class:`repro.manager.audit.AuditLedger`; when provided,
             every processing step appends a signed, hash-chained record
             (the evidence backing the Crowd Liability property).
+        telemetry: the :class:`repro.telemetry.Telemetry` to record
+            phase spans, counters, and profiles into; defaults to the
+            simulator's instance.
         seed: randomness for contribution jitter.
     """
 
@@ -296,6 +308,7 @@ class EdgeletExecutor:
         extrapolate_lost: bool = True,
         contribution_copies: int = 1,
         audit_ledger: Any = None,
+        telemetry: Any = None,
         seed: int = 0,
     ):
         if contribution_copies < 1:
@@ -320,6 +333,55 @@ class EdgeletExecutor:
         self._contribution_filters: dict[Any, Any] = {}
         self._rng = random.Random(seed)
         self.report = ExecutionReport(query_id=plan.query_id)
+
+        if telemetry is None:
+            telemetry = simulator.telemetry
+        self.telemetry = telemetry
+        self.report.telemetry = telemetry
+        metrics = telemetry.metrics
+        query_id = plan.query_id
+        self._m_contributions = metrics.counter(
+            "exec.contributions_accepted", query=query_id
+        )
+        self._m_tuples = metrics.counter("exec.tuples_collected", query=query_id)
+        self._m_snapshots = metrics.counter("exec.snapshots_frozen", query=query_id)
+        self._m_partials = metrics.counter("exec.partials_recorded", query=query_id)
+        self._m_knowledges = metrics.counter(
+            "exec.knowledges_recorded", query=query_id
+        )
+        self._m_heartbeats = metrics.counter("exec.heartbeats_run", query=query_id)
+        self._m_finals = metrics.counter("exec.final_results", query=query_id)
+        self._prof_aggregate = telemetry.profiler.section("operator.aggregate")
+        self._prof_heartbeat = telemetry.profiler.section("operator.kmeans_heartbeat")
+        self._prof_combine = telemetry.profiler.section("operator.combine")
+
+        # Phase spans: the structured execution timeline.  The
+        # collection span closes at the first frozen snapshot and the
+        # computation span opens at the first partial/K-Means init,
+        # mirroring exactly what the legacy substring heuristics mined
+        # from the text trace.  Spans left open (a phase that never
+        # happened) render as ``None`` boundaries.
+        from repro.telemetry import NullTracer
+
+        tracer = telemetry.tracer
+        self._span_execution = tracer.start(
+            "execution",
+            at=self.start_time,
+            query_id=query_id,
+            kind=plan.metadata["kind"],
+        )
+        self._span_collection = tracer.start(
+            "phase:collection", at=self.start_time, parent=self._span_execution
+        )
+        self._span_computation: Any = None
+        self._span_combination: Any = None
+        # A no-op tracer hands out one shared inert span; publishing it
+        # would poison phase_timeline, which then rightly falls back to
+        # the legacy text-trace scan.
+        self._record_phase_spans = not isinstance(tracer, NullTracer)
+        if self._record_phase_spans:
+            self.report.phase_spans["execution"] = self._span_execution
+            self.report.phase_spans["collection"] = self._span_collection
 
         metadata = plan.metadata
         self.kind: str = metadata["kind"]
@@ -399,6 +461,42 @@ class EdgeletExecutor:
 
     def _trace(self, message: str) -> None:
         self.report.trace.append((self.simulator.now, message))
+
+    # -- phase accounting --------------------------------------------------
+
+    def _mark_collection_end(self) -> None:
+        """First snapshot froze: the collection phase is over."""
+        if self._span_collection.end is None:
+            now = self.simulator.now
+            self._span_collection.finish(at=now)
+            self.telemetry.tracer.mark(
+                f"exec.{self.plan.query_id}.collection_end", at=now
+            )
+
+    def _mark_computation_start(self) -> None:
+        """First partial/K-Means init: the computation phase began."""
+        if self._span_computation is None:
+            now = self.simulator.now
+            self._span_computation = self.telemetry.tracer.start(
+                "phase:computation", at=now, parent=self._span_execution
+            )
+            if self._record_phase_spans:
+                self.report.phase_spans["computation"] = self._span_computation
+            self.telemetry.tracer.mark(
+                f"exec.{self.plan.query_id}.computation_start", at=now
+            )
+
+    def _mark_combination_start(self) -> None:
+        """The combiner deadline fired: the combination phase began."""
+        if self._span_combination is None:
+            now = self.simulator.now
+            if self._span_computation is not None:
+                self._span_computation.finish(at=now)
+            self._span_combination = self.telemetry.tracer.start(
+                "phase:combination", at=now, parent=self._span_execution
+            )
+            if self._record_phase_spans:
+                self.report.phase_spans["combination"] = self._span_combination
 
     def _count_tuples(self, device_id: str, count: int) -> None:
         tallies = self.report.tuples_per_device
@@ -490,6 +588,9 @@ class EdgeletExecutor:
             horizon += self._stats_window()
         self.simulator.run_until(horizon)
         self.report.network_stats = self.network.stats.as_dict()
+        if self._span_combination is not None:
+            self._span_combination.finish(at=self.simulator.now)
+        self._span_execution.finish(at=self.simulator.now)
         return self.report
 
     def _result_slack(self) -> float:
@@ -620,6 +721,8 @@ class EdgeletExecutor:
                 f"{builder.op_id} snapshot frozen: {len(rows)} rows, "
                 f"merkle={commitment[:12]}…"
             )
+            self._mark_collection_end()
+            self._m_snapshots.inc()
             self._audit(device, builder.op_id, "snapshot", len(rows))
             latency = device.compute_latency(float(len(rows)))
             self.simulator.schedule(
@@ -690,6 +793,8 @@ class EdgeletExecutor:
         accepted = rows[:room]
         bucket.extend(accepted)
         self._count_tuples(device.device_id, len(accepted))
+        self._m_contributions.inc()
+        self._m_tuples.inc(len(accepted))
 
     def _on_partition(self, device: Edgelet, payload: dict[str, Any]) -> None:
         partition_index = payload["partition_index"]
@@ -723,7 +828,8 @@ class EdgeletExecutor:
             grouping_sets=self.query.grouping_sets,
             aggregates=tuple(self.query.aggregates[i] for i in indices),
         )
-        partial = evaluate_group_by(sub_query, rows)
+        with self._prof_aggregate:
+            partial = evaluate_group_by(sub_query, rows)
         self._audit(device, computer.op_id, "partial", len(rows))
         latency = device.compute_latency(float(len(rows)))
         payload = {
@@ -740,6 +846,7 @@ class EdgeletExecutor:
 
     def _make_partial_send(self, device, computer, payload):
         def fire() -> None:
+            self._mark_computation_start()
             if not self.network.is_online(device.device_id):
                 self._trace(f"{computer.op_id} offline, partial lost")
                 return
@@ -782,6 +889,7 @@ class EdgeletExecutor:
         self._trace(
             f"{computer.op_id} initialized K-Means on {len(points)} points"
         )
+        self._mark_computation_start()
 
     def _schedule_heartbeats(self) -> None:
         if self.heartbeats <= 0:
@@ -801,7 +909,12 @@ class EdgeletExecutor:
     def _make_heartbeat(self, last: bool):
         def fire() -> None:
             self.report.heartbeats_run += 1
+            self._m_heartbeats.inc()
             beat = self.report.heartbeats_run
+            self.telemetry.tracer.event(
+                "heartbeat", at=self.simulator.now,
+                query_id=self.plan.query_id, beat=beat,
+            )
             shifts: list[float] = []
             for computer in self._computers:
                 partition_index = computer.params["partition_index"]
@@ -812,7 +925,8 @@ class EdgeletExecutor:
                 if not self.network.is_online(device.device_id):
                     continue
                 previous = state.knowledge
-                knowledge = state.heartbeat()
+                with self._prof_heartbeat:
+                    knowledge = state.heartbeat()
                 if previous is not None and previous.k == knowledge.k:
                     from repro.ml.metrics import centroid_matching_distance
 
@@ -862,6 +976,7 @@ class EdgeletExecutor:
             self._combiners[op_id].record_knowledge(
                 payload["partition_index"], knowledge
             )
+            self._m_knowledges.inc()
             return
         for computer in self._computers:
             if computer.op_id == op_id:
@@ -962,8 +1077,10 @@ class EdgeletExecutor:
         runtime.record_partial(
             payload["partition_index"], payload["group_index"], partial
         )
+        self._m_partials.inc()
 
     def _finalize(self) -> None:
+        self._mark_combination_start()
         for name in ("combiner", "combiner-backup"):
             combiner_op = self.plan.operator(name)
             device = self._device_of(combiner_op)
@@ -972,7 +1089,10 @@ class EdgeletExecutor:
                 continue
             runtime = self._combiners[name]
             if self.kind == "aggregate":
-                result = runtime.finalize_aggregate(self._aggregate_indices_per_group)
+                with self._prof_combine:
+                    result = runtime.finalize_aggregate(
+                        self._aggregate_indices_per_group
+                    )
                 if result is None:
                     self._trace(f"{name}: no partitions received, cannot finalize")
                     continue
@@ -983,7 +1103,8 @@ class EdgeletExecutor:
                     "rows": [list(rows) for rows in result.per_set_rows],
                 }
             else:
-                outcome = runtime.finalize_kmeans()
+                with self._prof_combine:
+                    outcome = runtime.finalize_kmeans()
                 if outcome is None:
                     self._trace(f"{name}: no knowledges received, cannot finalize")
                     continue
@@ -1028,6 +1149,12 @@ class EdgeletExecutor:
         self.report.success = True
         self.report.delivered_by = payload.get("combiner")
         self.report.completion_time = self.simulator.now
+        self._m_finals.inc()
+        if self._span_combination is not None:
+            self._span_combination.finish(at=self.simulator.now)
+        self.telemetry.tracer.mark(
+            f"exec.{self.plan.query_id}.completion", at=self.simulator.now
+        )
         self.report.tally = payload.get("tally", {})
         self.report.received_partitions = self.report.tally.get("received", 0)
         if self.kind == "aggregate":

@@ -14,7 +14,7 @@ edgelets".  Here everything is simulated; the manager
 """
 
 from repro.manager.audit import AuditLedger, AuditRecord
-from repro.manager.dashboard import render_plan, render_report
+from repro.manager.dashboard import render_plan, render_report, render_telemetry
 from repro.manager.scenario import Scenario, ScenarioConfig, ScenarioResult
 from repro.manager.trace import format_trace, phase_timeline
 from repro.manager.verification import verify_against_centralized, VerificationOutcome
@@ -30,5 +30,6 @@ __all__ = [
     "phase_timeline",
     "render_plan",
     "render_report",
+    "render_telemetry",
     "verify_against_centralized",
 ]

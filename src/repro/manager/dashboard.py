@@ -16,7 +16,7 @@ from repro.core.execution import ExecutionReport
 from repro.core.qep import Operator, OperatorRole, QueryExecutionPlan
 from repro.manager.trace import phase_timeline
 
-__all__ = ["render_plan", "render_report", "render_dot"]
+__all__ = ["render_plan", "render_report", "render_telemetry", "render_dot"]
 
 _STAGE_ORDER = (
     OperatorRole.DATA_CONTRIBUTOR,
@@ -127,6 +127,15 @@ def render_report(report: ExecutionReport, result_rows: int = 5) -> str:
             f"{report.heartbeats_run} heartbeats"
         )
     return "\n".join(lines)
+
+
+def render_telemetry(telemetry, max_rows: int = 20) -> str:
+    """Render one run's telemetry scoreboard (counters, phase spans,
+    wall-clock vs simulated time) — the observability panel of the
+    textual dashboard."""
+    from repro.telemetry import render_summary
+
+    return render_summary(telemetry, max_rows=max_rows)
 
 
 def _fmt(value: float | None) -> str:

@@ -136,13 +136,28 @@ class ScenarioResult:
 
 
 class Scenario:
-    """A configured swarm ready to run Edgelet queries."""
+    """A configured swarm ready to run Edgelet queries.
 
-    def __init__(self, config: ScenarioConfig):
+    Args:
+        config: the declarative scenario description.
+        telemetry: the :class:`repro.telemetry.Telemetry` every
+            substrate (simulator, network, executor) records into;
+            defaults to the process-wide instance.  Pass
+            :func:`repro.telemetry.null_telemetry` to turn measurement
+            off for wall-clock-sensitive sweeps.
+    """
+
+    def __init__(self, config: ScenarioConfig, telemetry: Any = None):
+        if telemetry is None:
+            from repro.telemetry import get_telemetry
+
+            telemetry = get_telemetry()
+        self.telemetry = telemetry
         self.config = config
         self.scenario_id = next(_scenario_ids)
         self._rng = random.Random(config.seed)
-        self.simulator = Simulator()
+        self.simulator = Simulator(telemetry=telemetry)
+        telemetry.tracer.use_clock(lambda: self.simulator.now)
         self.observer = SealedGlassObserver()
         self.authority = AttestationAuthority()
         self.contributors: list[Edgelet] = []
@@ -222,7 +237,8 @@ class Scenario:
             global_loss_probability=self.config.message_loss,
         )
         network = OpportunisticNetwork(
-            self.simulator, topology, network_config, seed=self.config.seed
+            self.simulator, topology, network_config, seed=self.config.seed,
+            telemetry=self.telemetry,
         )
         # Star topology through the querier's venue infrastructure would
         # be unrealistic; attach devices pairwise-reachable by default
@@ -287,6 +303,12 @@ class Scenario:
             if plan.metadata.get("strategy") == "backup" and spec.kind == "aggregate"
             else EdgeletExecutor
         )
+        scenario_span = self.telemetry.tracer.push(
+            self.telemetry.tracer.start(
+                "scenario", at=self.simulator.now,
+                scenario_id=self.scenario_id, query_id=spec.query_id,
+            )
+        )
         executor = executor_class(
             simulator=self.simulator,
             network=self.network,
@@ -295,6 +317,7 @@ class Scenario:
             collection_window=self.config.collection_window,
             deadline=self.config.deadline,
             secure_channels=self.config.secure_channels,
+            telemetry=self.telemetry,
             seed=self.config.seed,
         )
 
@@ -323,6 +346,15 @@ class Scenario:
             self.injector.start(until=executor.deadline_at)
 
         report = executor.run()
+        self.telemetry.tracer.pop(scenario_span, at=self.simulator.now)
+        metrics = self.telemetry.metrics
+        metrics.counter("scenario.queries_run").inc()
+        if report.success:
+            metrics.counter("scenario.queries_succeeded").inc()
+            if report.completion_time is not None:
+                metrics.histogram("scenario.completion_time").observe(
+                    report.completion_time - executor.start_time
+                )
         exposure = measure_exposure(plan, separated_pairs=separated_pairs)
         liability = measure_liability(plan, tuples_per_device=report.tuples_per_device)
         return ScenarioResult(

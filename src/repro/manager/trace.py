@@ -26,7 +26,23 @@ def phase_timeline(report: ExecutionReport) -> dict[str, float | None]:
 
     Returns the first snapshot-freeze time (collection → computation),
     the first partial/knowledge-related event, and completion.
+
+    The boundaries come from the executor's structured telemetry phase
+    spans (``report.phase_spans``): the collection span closes at the
+    first frozen snapshot and the computation span opens at the first
+    partial result or K-Means initialization.  Reports produced without
+    telemetry (hand-built, or deserialized from old runs) fall back to
+    the legacy substring scan of the text trace.
     """
+    spans = getattr(report, "phase_spans", None)
+    if spans:
+        collection = spans.get("collection")
+        computation = spans.get("computation")
+        return {
+            "collection_end": None if collection is None else collection.end,
+            "computation_start": None if computation is None else computation.start,
+            "completion": report.completion_time,
+        }
     collection_end = None
     computation_start = None
     for time, message in report.trace:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.network.messages import Message, MessageKind
 from repro.network.simulator import Simulator
@@ -110,6 +110,7 @@ class OpportunisticNetwork:
         topology: ContactGraph,
         config: NetworkConfig | None = None,
         seed: int = 0,
+        telemetry: Any = None,
     ):
         self.simulator = simulator
         self.topology = topology
@@ -121,6 +122,20 @@ class OpportunisticNetwork:
         self._dead: set[str] = set()
         self._inboxes: dict[str, list[tuple[float, Message]]] = {}
         self._receipts: list[DeliveryReceipt] = []
+        if telemetry is None:
+            telemetry = simulator.telemetry
+        self.telemetry = telemetry
+        metrics = telemetry.metrics
+        self._m_sent_by_kind: dict[str, Any] = {}
+        self._m_delivered = metrics.counter("net.messages_delivered")
+        self._m_lost = metrics.counter("net.messages_lost")
+        self._m_dropped = metrics.counter("net.messages_dropped_timeout")
+        self._m_no_route = metrics.counter("net.messages_no_route")
+        self._m_dead = metrics.counter("net.messages_to_dead_device")
+        self._m_bytes_sent = metrics.counter("net.bytes_sent")
+        self._m_bytes_delivered = metrics.counter("net.bytes_delivered")
+        self._g_buffered = metrics.gauge("net.store_and_forward_occupancy")
+        self._h_latency = metrics.histogram("net.delivery_latency")
 
     # -- device lifecycle -------------------------------------------------
 
@@ -156,6 +171,8 @@ class OpportunisticNetwork:
         self._inboxes[device_id] = []
         for _, message in dropped:
             self.stats.to_dead_device += 1
+            self._m_dead.inc()
+            self._g_buffered.dec()
             self._receipts.append(
                 DeliveryReceipt(message.message_id, "dead")
             )
@@ -172,9 +189,17 @@ class OpportunisticNetwork:
         )
         kind = message.kind.value
         self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        sent_counter = self._m_sent_by_kind.get(kind)
+        if sent_counter is None:
+            sent_counter = self._m_sent_by_kind[kind] = (
+                self.telemetry.metrics.counter("net.messages_sent", kind=kind)
+            )
+        sent_counter.inc()
+        self._m_bytes_sent.inc(message.size_bytes)
 
         if message.recipient in self._dead:
             self.stats.to_dead_device += 1
+            self._m_dead.inc()
             self._receipts.append(DeliveryReceipt(message.message_id, "dead"))
             return
 
@@ -185,6 +210,7 @@ class OpportunisticNetwork:
         quality, hops = self._route(message.sender, message.recipient)
         if quality is None:
             self.stats.no_route += 1
+            self._m_no_route.inc()
             self._receipts.append(DeliveryReceipt(message.message_id, "no_route"))
             return
 
@@ -249,6 +275,7 @@ class OpportunisticNetwork:
 
     def _record_loss(self, message: Message) -> None:
         self.stats.lost += 1
+        self._m_lost.inc()
         self._receipts.append(DeliveryReceipt(message.message_id, "lost"))
 
     def _arrive(self, message: Message) -> None:
@@ -256,6 +283,7 @@ class OpportunisticNetwork:
         recipient = message.recipient
         if recipient in self._dead:
             self.stats.to_dead_device += 1
+            self._m_dead.inc()
             self._receipts.append(DeliveryReceipt(message.message_id, "dead"))
             return
         if self.is_online(recipient):
@@ -263,6 +291,7 @@ class OpportunisticNetwork:
             return
         # store-and-forward: buffer until reconnection or timeout
         self._inboxes.setdefault(recipient, []).append((self.simulator.now, message))
+        self._g_buffered.inc()
         if self.config.buffer_timeout is not None:
             self.simulator.schedule(
                 self.config.buffer_timeout,
@@ -276,6 +305,8 @@ class OpportunisticNetwork:
             if buffered.message_id == message.message_id:
                 del inbox[i]
                 self.stats.dropped_timeout += 1
+                self._m_dropped.inc()
+                self._g_buffered.dec()
                 self._receipts.append(
                     DeliveryReceipt(message.message_id, "dropped_timeout")
                 )
@@ -284,6 +315,7 @@ class OpportunisticNetwork:
     def _flush_inbox(self, device_id: str) -> None:
         inbox = self._inboxes.get(device_id, [])
         self._inboxes[device_id] = []
+        self._g_buffered.dec(len(inbox))
         for _, message in inbox:
             self._deliver(message)
 
@@ -291,6 +323,11 @@ class OpportunisticNetwork:
         message.delivered_at = self.simulator.now
         self.stats.delivered += 1
         self.stats.bytes_delivered += message.size_bytes
+        self._m_delivered.inc()
+        self._m_bytes_delivered.inc(message.size_bytes)
+        in_flight = message.in_flight_time
+        if in_flight is not None:
+            self._h_latency.observe(in_flight)
         self.stats.bytes_by_recipient[message.recipient] = (
             self.stats.bytes_by_recipient.get(message.recipient, 0)
             + message.size_bytes

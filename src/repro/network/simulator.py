@@ -6,6 +6,12 @@ intentionally small: a priority queue of :class:`Event` records ordered
 by ``(time, sequence)``.  The sequence number breaks ties so that two
 events at the same virtual instant fire in scheduling order, which makes
 whole executions reproducible bit-for-bit given a seed.
+
+The kernel is instrumented through :mod:`repro.telemetry`: events
+scheduled/processed/cancelled are counted, the queue depth is tracked as
+a gauge, and the ``run``/``run_until`` loops are wall-clock-profiled so
+simulator overhead can be separated from modeled time.  Telemetry never
+influences scheduling order.
 """
 
 from __future__ import annotations
@@ -49,13 +55,31 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1.5, lambda: print("fires at t=1.5"))
         sim.run_until(10.0)
+
+    Args:
+        telemetry: the :class:`repro.telemetry.Telemetry` to record
+            into; defaults to the process-wide instance.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Any = None) -> None:
+        if telemetry is None:
+            from repro.telemetry import get_telemetry
+
+            telemetry = get_telemetry()
+        self.telemetry = telemetry
         self._now = 0.0
         self._queue: list[Event] = []
         self._sequence = itertools.count()
         self._processed = 0
+        # epoch fences recurring timers: ticks armed before a reset()
+        # must never re-arm after it (see `every`)
+        self._epoch = 0
+        metrics = telemetry.metrics
+        self._m_scheduled = metrics.counter("sim.events_scheduled")
+        self._m_processed = metrics.counter("sim.events_processed")
+        self._m_cancelled = metrics.counter("sim.events_cancelled_skipped")
+        self._g_queue = metrics.gauge("sim.queue_depth")
+        self._prof_loop = telemetry.profiler.section("sim.event_loop")
 
     @property
     def now(self) -> float:
@@ -85,6 +109,8 @@ class Simulator:
             description=description,
         )
         heapq.heappush(self._queue, event)
+        self._m_scheduled.inc()
+        self._g_queue.set(len(self._queue))
         return event
 
     def schedule_at(
@@ -103,13 +129,19 @@ class Simulator:
         """Fire ``callback`` every ``interval`` units, starting one
         interval from now, optionally stopping after virtual time
         ``until``.  Returns a function that cancels the recurrence.
+
+        The recurrence is fenced to the current epoch: a
+        :meth:`reset` both drops the armed event *and* poisons the
+        tick closure, so a stale recurring timer can never fire or
+        re-arm itself on the post-reset timeline.
         """
         if interval <= 0:
             raise SimulationError(f"interval must be positive (got {interval})")
         state = {"stopped": False, "event": None}
+        epoch = self._epoch
 
         def tick() -> None:
-            if state["stopped"]:
+            if state["stopped"] or self._epoch != epoch:
                 return
             callback()
             if until is not None and self._now + interval > until:
@@ -132,10 +164,13 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._m_cancelled.inc()
                 continue
             self._now = event.time
             event.callback()
             self._processed += 1
+            self._m_processed.inc()
+            self._g_queue.set(len(self._queue))
             return True
         return False
 
@@ -145,34 +180,53 @@ class Simulator:
         Returns the number of events fired by this call.
         """
         fired = 0
-        while max_events is None or fired < max_events:
-            if not self.step():
-                break
-            fired += 1
+        with self._prof_loop:
+            while max_events is None or fired < max_events:
+                if not self.step():
+                    break
+                fired += 1
         return fired
 
     def run_until(self, deadline: float) -> int:
         """Run events with ``time <= deadline`` and advance the clock to
-        exactly ``deadline``.  Returns the number of events fired."""
+        exactly ``deadline``.  Returns the number of events fired.
+
+        The deadline is inclusive, consistently: an event scheduled at
+        exactly ``deadline`` fires — including one scheduled *during*
+        this call by another deadline-time event — and a subsequent
+        ``run_until(deadline)`` is a legal no-op.
+        """
         if deadline < self._now:
             raise SimulationError(
                 f"deadline {deadline} is before current time {self._now}"
             )
         fired = 0
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if head.time > deadline:
-                break
-            self.step()
-            fired += 1
-        self._now = deadline
+        with self._prof_loop:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    self._m_cancelled.inc()
+                    continue
+                if head.time > deadline:
+                    break
+                self.step()
+                fired += 1
+            self._now = deadline
         return fired
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events and rewind the clock to zero.
+
+        Also restarts the tie-breaking sequence (so post-reset runs are
+        bit-for-bit identical to a fresh simulator) and advances the
+        epoch fence that disarms any live :meth:`every` recurrence.
+        """
+        for event in self._queue:
+            event.cancel()
         self._queue.clear()
         self._now = 0.0
         self._processed = 0
+        self._sequence = itertools.count()
+        self._epoch += 1
+        self._g_queue.set(0)

@@ -1,0 +1,265 @@
+"""Typed metric instruments: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` hands out per-``(name, labels)`` instrument
+handles.  Handles are plain attribute-bumping objects, cheap enough to
+leave enabled inside the simulator's event loop and the network's send
+path; hot call sites are expected to resolve their handle once (at
+construction time) and call ``inc``/``observe`` on it directly.
+
+Labels are free-form keyword dimensions (device id, phase, message
+kind…).  Every distinct label combination materializes its own child
+instrument, so label cardinality should stay bounded — label a message
+*kind*, not a message *id*.
+
+The registry can be swapped for :class:`NullMetricsRegistry`, whose
+handles are shared no-op singletons, to measure the cost of measuring.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (virtual seconds / generic sizes).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0,
+)
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, buffered messages)."""
+
+    __slots__ = ("name", "labels", "value", "max_value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``buckets`` are sorted upper bounds; an implicit +inf bucket catches
+    the overflow.  ``counts[i]`` is the number of observations with
+    ``value <= buckets[i]`` (non-cumulative storage, cumulative on
+    export).
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "total")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"histogram {name} buckets must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket holding the q-th observation)."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return self.buckets[i] if i < len(self.buckets) else float("inf")
+        return float("inf")
+
+
+class MetricsRegistry:
+    """Creates and memoizes metric instruments by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # -- instrument accessors ---------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1], buckets)
+        return instrument
+
+    # -- queries ----------------------------------------------------------
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Current value of one counter/gauge child (0.0 if absent)."""
+        key = (name, _label_key(labels))
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        return 0.0
+
+    def total(self, name: str) -> float:
+        """Sum of a counter family across all label combinations."""
+        return sum(
+            c.value for (n, _), c in self._counters.items() if n == name
+        )
+
+    def counters(self) -> Iterator[Counter]:
+        yield from self._counters.values()
+
+    def gauges(self) -> Iterator[Gauge]:
+        yield from self._gauges.values()
+
+    def histograms(self) -> Iterator[Histogram]:
+        yield from self._histograms.values()
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat ``name{labels} -> value`` snapshot (counters + gauges)."""
+        snapshot: dict[str, float] = {}
+        for (name, labels), counter in sorted(self._counters.items()):
+            snapshot[_flat_name(name, labels)] = counter.value
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            snapshot[_flat_name(name, labels)] = gauge.value
+        return snapshot
+
+    def reset(self) -> None:
+        """Drop every instrument (existing handles become orphans)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def _flat_name(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """No-op registry: every accessor returns a shared inert handle."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str, **labels: Any) -> Counter:  # noqa: ARG002
+        return self._null_counter
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:  # noqa: ARG002
+        return self._null_gauge
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels: Any
+    ) -> Histogram:  # noqa: ARG002
+        return self._null_histogram

@@ -1,0 +1,116 @@
+"""Wall-clock profiling hooks (``perf_counter``-based).
+
+The simulator models *virtual* time; the profiler measures how much
+*real* time the Python process spends inside named sections (the event
+loop, aggregate evaluation, K-Means heartbeats…).  Comparing the two is
+how simulator overhead is separated from modeled time — the number
+every performance PR must report against.
+
+Sections are reusable context managers resolved once per call site::
+
+    section = profiler.section("sim.event_loop")
+    with section:
+        simulator.run_until(horizon)
+
+A :class:`NullProfiler` section skips the clock reads entirely.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any
+
+__all__ = ["ProfileSection", "Profiler", "NullProfiler"]
+
+
+class ProfileSection:
+    """Accumulates wall-clock statistics for one named section.
+
+    Not reentrant: a section object times one active ``with`` block at a
+    time (nest different sections, not the same one).
+    """
+
+    __slots__ = ("name", "calls", "total", "min", "max", "_t0")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "ProfileSection":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        elapsed = perf_counter() - self._t0
+        self.calls += 1
+        self.total += elapsed
+        if elapsed < self.min:
+            self.min = elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.calls if self.calls else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "profile",
+            "section": self.name,
+            "calls": self.calls,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.min if self.calls else 0.0,
+            "max_s": self.max,
+        }
+
+
+class Profiler:
+    """Creates and memoizes :class:`ProfileSection` handles by name."""
+
+    def __init__(self) -> None:
+        self._sections: dict[str, ProfileSection] = {}
+
+    def section(self, name: str) -> ProfileSection:
+        handle = self._sections.get(name)
+        if handle is None:
+            handle = self._sections[name] = ProfileSection(name)
+        return handle
+
+    def sections(self) -> list[ProfileSection]:
+        return sorted(self._sections.values(), key=lambda s: -s.total)
+
+    def total(self, name: str) -> float:
+        handle = self._sections.get(name)
+        return handle.total if handle is not None else 0.0
+
+    def summary(self) -> list[dict[str, Any]]:
+        return [section.as_dict() for section in self.sections()]
+
+    def reset(self) -> None:
+        self._sections.clear()
+
+
+class _NullSection(ProfileSection):
+    __slots__ = ()
+
+    def __enter__(self) -> "ProfileSection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+class NullProfiler(Profiler):
+    """No-op profiler: one shared section, no clock reads."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_section = _NullSection("null")
+
+    def section(self, name: str) -> ProfileSection:  # noqa: ARG002
+        return self._null_section

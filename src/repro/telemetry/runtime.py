@@ -1,0 +1,95 @@
+"""The :class:`Telemetry` facade and the process-wide default instance.
+
+A ``Telemetry`` object bundles the three planes — metrics, tracing,
+profiling — so that instrumented components take a single optional
+``telemetry`` argument.  When they receive ``None`` they fall back to
+the process-wide default, which is a *real* (recording) instance: the
+measurement substrate is on unless explicitly swapped out::
+
+    from repro.telemetry import null_telemetry, use_telemetry
+
+    with use_telemetry(null_telemetry()):
+        ...   # components built here record nothing
+
+Components resolve the default at construction time, so swapping only
+affects objects created afterwards — existing simulators keep the
+handles they cached.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.telemetry.profiler import NullProfiler, Profiler
+from repro.telemetry.spans import NullTracer, Tracer
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "null_telemetry",
+]
+
+
+class Telemetry:
+    """One coherent set of metrics + tracer + profiler."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        profiler: Profiler | None = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.profiler = profiler if profiler is not None else Profiler()
+
+    @property
+    def enabled(self) -> bool:
+        """False for the no-op implementation."""
+        return not isinstance(self.metrics, NullMetricsRegistry)
+
+    def reset(self) -> None:
+        """Clear all recorded data, keeping the same instances alive
+        (cached instrument handles become orphans — prefer building a
+        fresh ``Telemetry`` per run when isolation matters)."""
+        self.metrics.reset()
+        self.tracer.reset()
+        self.profiler.reset()
+
+
+def null_telemetry() -> Telemetry:
+    """A ``Telemetry`` whose three planes are all no-ops."""
+    return Telemetry(
+        metrics=NullMetricsRegistry(), tracer=NullTracer(), profiler=NullProfiler()
+    )
+
+
+_default: Telemetry = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide default telemetry (recording, by default)."""
+    return _default
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Replace the process-wide default; returns the new default."""
+    global _default
+    _default = telemetry
+    return telemetry
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Temporarily install ``telemetry`` as the process default."""
+    global _default
+    previous = _default
+    _default = telemetry
+    try:
+        yield telemetry
+    finally:
+        _default = previous

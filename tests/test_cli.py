@@ -121,6 +121,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "presented (ORDER BY / LIMIT applied):" in out
 
+    def test_run_metrics_out_writes_jsonl(self, capsys, tmp_path):
+        from repro.telemetry import read_jsonl
+
+        path = tmp_path / "metrics.jsonl"
+        code = main([
+            "run", "--contributors", "30", "--processors", "15",
+            "--rows", "60", "--cardinality", "50", "--max-raw", "20",
+            "--seed", "3", "--metrics-out", str(path),
+        ])
+        assert code == 0
+        assert f"records written to {path}" in capsys.readouterr().out
+        records = read_jsonl(path)
+        assert records[0]["type"] == "header"
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert "phase:collection" in span_names
+
+    def test_run_telemetry_summary_printed(self, capsys):
+        code = main([
+            "run", "--contributors", "30", "--processors", "15",
+            "--rows", "60", "--cardinality", "50", "--max-raw", "20",
+            "--seed", "3", "--telemetry",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "net.messages_delivered" in out
+
+    def test_kmeans_metrics_out(self, tmp_path):
+        from repro.telemetry import read_jsonl
+
+        path = tmp_path / "kmeans.jsonl"
+        code = main([
+            "kmeans", "--contributors", "40", "--processors", "15",
+            "--rows", "80", "--cardinality", "60", "--k", "2",
+            "--heartbeats", "3", "--max-raw", "30", "--seed", "6",
+            "--metrics-out", str(path),
+        ])
+        assert code == 0
+        records = read_jsonl(path)
+        heartbeats = [
+            r for r in records
+            if r["type"] == "event" and r["name"] == "heartbeat"
+        ]
+        assert heartbeats
+
     def test_run_with_hist_aggregate(self, capsys):
         code = main([
             "run", "--contributors", "30", "--processors", "15",

@@ -128,6 +128,109 @@ class TestRecurring:
             Simulator().every(0.0, lambda: None)
 
 
+class TestResetRecurringInteraction:
+    """Regression tests: reset() must fully disarm recurring timers."""
+
+    def test_recurring_timer_never_fires_after_reset(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(3.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        sim.reset()
+        sim.schedule(10.0, lambda: None)  # give the queue something to drain
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_cancelled_then_reset_timer_stays_dead(self):
+        sim = Simulator()
+        ticks = []
+        cancel = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(2.0)
+        cancel()
+        sim.reset()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert ticks == [1.0, 2.0]
+
+    def test_stale_tick_closure_cannot_rearm_post_reset(self):
+        # Even if the armed tick event itself somehow survived (it is
+        # epoch-fenced, not just cancelled), re-entering it must not
+        # re-arm the recurrence on the new timeline.
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        armed = [e for e in sim._queue if not e.cancelled]
+        sim.reset()
+        for event in armed:  # resurrect the pre-reset tick by hand
+            event.cancelled = False
+            event.callback()
+        sim.run()
+        assert ticks == []
+        assert sim.pending == 0
+
+    def test_timers_armed_after_reset_work_normally(self):
+        sim = Simulator()
+        sim.every(1.0, lambda: None)
+        sim.reset()
+        ticks = []
+        sim.every(2.0, lambda: ticks.append(sim.now), until=6.0)
+        sim.run()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_reset_restarts_tie_breaking_sequence(self):
+        # Post-reset runs must be bit-for-bit identical to a fresh
+        # simulator: same-time events fire in (re)scheduling order.
+        def collect(sim):
+            fired = []
+            for name in "abc":
+                sim.schedule(1.0, lambda n=name: fired.append(n))
+            sim.run()
+            return fired
+
+        sim = Simulator()
+        collect(sim)
+        sim.reset()
+        assert collect(sim) == collect(Simulator())
+
+
+class TestRunUntilInclusive:
+    """Regression tests: the deadline is consistently inclusive."""
+
+    def test_chained_events_at_exact_deadline_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(0.0, lambda: fired.append("second"))
+
+        sim.schedule(3.0, first)
+        count = sim.run_until(3.0)
+        assert fired == ["first", "second"]
+        assert count == 2
+        assert sim.now == 3.0
+
+    def test_repeated_run_until_same_deadline_is_noop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(sim.now))
+        assert sim.run_until(3.0) == 1
+        assert sim.run_until(3.0) == 0
+        assert fired == [3.0]
+        assert sim.now == 3.0
+
+    def test_recurring_tick_at_deadline_fires_once(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(3.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        # The next tick (armed at t=4) stays queued, not lost.
+        sim.run_until(4.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+
 class TestBookkeeping:
     def test_processed_counter(self):
         sim = Simulator()
