@@ -1,0 +1,57 @@
+"""repro.chaos — seeded chaos campaigns with invariant checking.
+
+The verification muscle behind the paper's failure demonstrations:
+message-level fault injection on the opportunistic network
+(:mod:`~repro.chaos.faults`), executable Resiliency / Validity / Crowd
+Liability invariants (:mod:`~repro.chaos.invariants`), deterministic
+seeded campaign sweeps (:mod:`~repro.chaos.campaign`), failure-schedule
+shrinking (:mod:`~repro.chaos.shrink`), and replayable JSON repro
+artifacts (:mod:`~repro.chaos.artifact`).
+"""
+
+from repro.chaos.artifact import ReproArtifact
+from repro.chaos.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    RunOutcome,
+    RunSpec,
+    TopologySpec,
+    run_campaign,
+    run_single,
+)
+from repro.chaos.faults import (
+    FaultDecision,
+    FaultSpec,
+    MessageFaultInjector,
+    corrupt_payload,
+    parse_fault_mix,
+)
+from repro.chaos.invariants import (
+    INVARIANTS,
+    RunRecord,
+    Violation,
+    check_all,
+)
+from repro.chaos.shrink import failure_plan_from_events, shrink_failure_plan
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultDecision",
+    "FaultSpec",
+    "INVARIANTS",
+    "MessageFaultInjector",
+    "ReproArtifact",
+    "RunOutcome",
+    "RunRecord",
+    "RunSpec",
+    "TopologySpec",
+    "Violation",
+    "check_all",
+    "corrupt_payload",
+    "failure_plan_from_events",
+    "parse_fault_mix",
+    "run_campaign",
+    "run_single",
+    "shrink_failure_plan",
+]

@@ -1,0 +1,505 @@
+"""Seeded chaos campaigns over the Edgelet execution strategies.
+
+A campaign sweeps (strategy x failure probability x fault mix x
+topology) over a fixed number of runs.  Every run is a pure function of
+its derived seed: device identities come from ``(scenario_tag, seed)``,
+the stochastic failure injector, the message-fault injector, and the
+network each own a seed-derived RNG, and the discrete-event kernel
+breaks ties deterministically.  Re-running a :class:`RunSpec` therefore
+reproduces a violation bit-for-bit — the property the shrinker and the
+JSON repro artifacts are built on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.chaos.faults import FaultSpec
+from repro.chaos.invariants import RunRecord, Violation, check_all
+from repro.chaos.shrink import failure_plan_from_events, shrink_failure_plan
+from repro.core.planner import PrivacyParameters, QuerySpec, ResiliencyParameters
+from repro.data.health import HEALTH_SCHEMA, generate_health_rows
+from repro.network.failures import FailurePlan
+from repro.query.sql import parse_query
+
+__all__ = [
+    "TopologySpec",
+    "RunSpec",
+    "RunOutcome",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_single",
+    "run_campaign",
+    "DEFAULT_SQL",
+]
+
+#: The demo's Grouping Sets query — the campaign workload.
+DEFAULT_SQL = (
+    "SELECT count(*), avg(age), avg(bmi) FROM health "
+    "WHERE age > 65 "
+    "GROUP BY GROUPING SETS ((region), (sex), ())"
+)
+
+# large prime stride so per-run seeds never collide across campaign
+# seeds that are close together
+_SEED_STRIDE = 100_003
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Swarm shape of one campaign cell."""
+
+    n_contributors: int = 24
+    n_processors: int = 20
+    n_rows: int = 48
+    device_mix: tuple[float, float, float] = (1.0, 0.0, 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_contributors": self.n_contributors,
+            "n_processors": self.n_processors,
+            "n_rows": self.n_rows,
+            "device_mix": list(self.device_mix),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TopologySpec":
+        return cls(
+            n_contributors=int(data["n_contributors"]),
+            n_processors=int(data["n_processors"]),
+            n_rows=int(data["n_rows"]),
+            device_mix=tuple(data.get("device_mix", (1.0, 0.0, 0.0))),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Fully deterministic description of one chaos run.
+
+    Serializable; :func:`run_single` on an identical spec in any
+    process reproduces the identical execution.
+    """
+
+    seed: int
+    tag: str
+    strategy: str = "overcollection"
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    crash_probability: float = 0.0
+    disconnect_probability: float = 0.0
+    disconnect_duration: float = 10.0
+    message_loss: float = 0.0
+    fault_specs: tuple[FaultSpec, ...] = ()
+    failure_plan: FailurePlan | None = None
+    sql: str = DEFAULT_SQL
+    # C defaults to twice the topology's dataset size: hash-imbalanced
+    # partitions then never hit the C/n cap, so a *clean* run is exact
+    # against the centralized oracle — the strict validity invariant
+    # depends on that
+    cardinality: int = 96
+    max_raw: int = 12
+    backup_replicas: int = 1
+    planner_fault_rate: float = 0.1
+    target_success: float = 0.99
+    collection_window: float = 20.0
+    deadline: float = 70.0
+    secure_channels: bool = False
+    validity_tolerance: float = 0.75
+    liability_max_share: float = 0.5
+
+    def to_dict(self) -> dict[str, Any]:
+        data = {
+            "seed": self.seed,
+            "tag": self.tag,
+            "strategy": self.strategy,
+            "topology": self.topology.to_dict(),
+            "crash_probability": self.crash_probability,
+            "disconnect_probability": self.disconnect_probability,
+            "disconnect_duration": self.disconnect_duration,
+            "message_loss": self.message_loss,
+            "fault_specs": [spec.to_dict() for spec in self.fault_specs],
+            "failure_plan": (
+                self.failure_plan.to_dict() if self.failure_plan is not None else None
+            ),
+            "sql": self.sql,
+            "cardinality": self.cardinality,
+            "max_raw": self.max_raw,
+            "backup_replicas": self.backup_replicas,
+            "planner_fault_rate": self.planner_fault_rate,
+            "target_success": self.target_success,
+            "collection_window": self.collection_window,
+            "deadline": self.deadline,
+            "secure_channels": self.secure_channels,
+            "validity_tolerance": self.validity_tolerance,
+            "liability_max_share": self.liability_max_share,
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunSpec":
+        plan = data.get("failure_plan")
+        return cls(
+            seed=int(data["seed"]),
+            tag=str(data["tag"]),
+            strategy=str(data.get("strategy", "overcollection")),
+            topology=TopologySpec.from_dict(data["topology"]),
+            crash_probability=float(data.get("crash_probability", 0.0)),
+            disconnect_probability=float(data.get("disconnect_probability", 0.0)),
+            disconnect_duration=float(data.get("disconnect_duration", 10.0)),
+            message_loss=float(data.get("message_loss", 0.0)),
+            fault_specs=tuple(
+                FaultSpec.from_dict(s) for s in data.get("fault_specs", ())
+            ),
+            failure_plan=FailurePlan.from_dict(plan) if plan is not None else None,
+            sql=str(data.get("sql", DEFAULT_SQL)),
+            cardinality=int(data.get("cardinality", 96)),
+            max_raw=int(data.get("max_raw", 12)),
+            backup_replicas=int(data.get("backup_replicas", 1)),
+            planner_fault_rate=float(data.get("planner_fault_rate", 0.1)),
+            target_success=float(data.get("target_success", 0.99)),
+            collection_window=float(data.get("collection_window", 20.0)),
+            deadline=float(data.get("deadline", 70.0)),
+            secure_channels=bool(data.get("secure_channels", False)),
+            validity_tolerance=float(data.get("validity_tolerance", 0.75)),
+            liability_max_share=float(data.get("liability_max_share", 0.5)),
+        )
+
+
+@dataclass
+class RunOutcome:
+    """One run's result plus its invariant verdicts."""
+
+    spec: RunSpec
+    result: Any
+    reference: Any
+    violations: list[Violation]
+    clean: bool
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _is_clean(spec: RunSpec, result: Any) -> bool:
+    """Whether the run experienced no failure or fault of any kind."""
+    if spec.message_loss > 0:
+        return False
+    if result.failure_events:
+        return False
+    if result.fault_injector is not None and result.fault_injector.decisions:
+        return False
+    stats = result.report.network_stats or {}
+    loss_keys = (
+        "lost",
+        "dropped_timeout",
+        "no_route",
+        "to_dead_device",
+        "fault_dropped",
+        "fault_corrupted",
+        "fault_duplicated",
+        "fault_delayed",
+    )
+    return all(not stats.get(key, 0) for key in loss_keys)
+
+
+def run_single(spec: RunSpec, telemetry: Any = None) -> RunOutcome:
+    """Execute one deterministic chaos run and check every invariant.
+
+    Each run gets its own fresh :class:`~repro.telemetry.Telemetry`
+    unless one is passed, keeping the process-wide registry out of the
+    determinism equation.
+    """
+    from repro.manager.scenario import Scenario, ScenarioConfig
+    from repro.telemetry import Telemetry
+
+    if telemetry is None:
+        telemetry = Telemetry()
+    topology = spec.topology
+    rows = generate_health_rows(topology.n_rows, seed=spec.seed)
+    config = ScenarioConfig(
+        n_contributors=topology.n_contributors,
+        n_processors=topology.n_processors,
+        rows=rows,
+        schema=HEALTH_SCHEMA,
+        device_mix=topology.device_mix,
+        crash_probability=spec.crash_probability,
+        disconnect_probability=spec.disconnect_probability,
+        disconnect_duration=spec.disconnect_duration,
+        message_loss=spec.message_loss,
+        collection_window=spec.collection_window,
+        deadline=spec.deadline,
+        secure_channels=spec.secure_channels,
+        seed=spec.seed,
+        scenario_tag=spec.tag,
+        failure_plan=spec.failure_plan,
+        fault_specs=spec.fault_specs or None,
+    )
+    query_spec = QuerySpec(
+        query_id=f"{spec.tag}-q",
+        kind="aggregate",
+        snapshot_cardinality=spec.cardinality,
+        group_by=parse_query(spec.sql).query,
+    )
+    scenario = Scenario(config, telemetry=telemetry)
+    result = scenario.run_query(
+        query_spec,
+        privacy=PrivacyParameters(max_raw_per_edgelet=spec.max_raw),
+        resiliency=ResiliencyParameters(
+            fault_rate=spec.planner_fault_rate,
+            target_success=spec.target_success,
+            strategy=spec.strategy,
+            backup_replicas=spec.backup_replicas,
+        ),
+    )
+    reference = scenario.centralized_result(query_spec)
+    clean = _is_clean(spec, result)
+    record = RunRecord(
+        result=result,
+        reference=reference,
+        strategy=spec.strategy,
+        clean=clean,
+        validity_tolerance=spec.validity_tolerance,
+        liability_max_share=spec.liability_max_share,
+    )
+    violations = check_all(record)
+    return RunOutcome(
+        spec=spec,
+        result=result,
+        reference=reference,
+        violations=violations,
+        clean=clean,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one chaos campaign sweep.
+
+    The sweep grid is the cross-product of ``strategies``,
+    ``crash_probabilities``, ``fault_mixes``, and ``topologies``; run
+    ``i`` executes grid cell ``i % len(grid)`` with seed
+    ``seed + i * 100003``, so adding runs extends coverage without
+    changing earlier runs.
+    """
+
+    seed: int = 0
+    runs: int = 25
+    strategies: tuple[str, ...] = ("overcollection", "backup")
+    crash_probabilities: tuple[float, ...] = (0.0, 0.002)
+    disconnect_probability: float = 0.0
+    disconnect_duration: float = 10.0
+    message_loss: float = 0.0
+    fault_mixes: tuple[tuple[FaultSpec, ...], ...] = ((),)
+    topologies: tuple[TopologySpec, ...] = (TopologySpec(),)
+    sql: str = DEFAULT_SQL
+    cardinality: int = 96
+    max_raw: int = 12
+    backup_replicas: int = 1
+    collection_window: float = 20.0
+    deadline: float = 70.0
+    secure_channels: bool = False
+    validity_tolerance: float = 0.75
+    liability_max_share: float = 0.5
+    shrink: bool = True
+    shrink_budget: int = 24
+
+    def grid(self) -> list[tuple[str, float, tuple[FaultSpec, ...], TopologySpec]]:
+        cells = []
+        for strategy in self.strategies:
+            for crash_probability in self.crash_probabilities:
+                for fault_mix in self.fault_mixes:
+                    for topology in self.topologies:
+                        cells.append(
+                            (strategy, crash_probability, fault_mix, topology)
+                        )
+        return cells
+
+    def spec_for(self, index: int) -> RunSpec:
+        """The deterministic RunSpec of campaign run ``index``."""
+        cells = self.grid()
+        strategy, crash_probability, fault_mix, topology = cells[index % len(cells)]
+        return RunSpec(
+            seed=self.seed + index * _SEED_STRIDE,
+            tag=f"chaos-{self.seed}-{index}",
+            strategy=strategy,
+            topology=topology,
+            crash_probability=crash_probability,
+            disconnect_probability=self.disconnect_probability,
+            disconnect_duration=self.disconnect_duration,
+            message_loss=self.message_loss,
+            fault_specs=fault_mix,
+            sql=self.sql,
+            cardinality=self.cardinality,
+            max_raw=self.max_raw,
+            backup_replicas=self.backup_replicas,
+            collection_window=self.collection_window,
+            deadline=self.deadline,
+            secure_channels=self.secure_channels,
+            validity_tolerance=self.validity_tolerance,
+            liability_max_share=self.liability_max_share,
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    config: CampaignConfig
+    outcomes: list[RunOutcome] = field(default_factory=list)
+    artifacts: list[Any] = field(default_factory=list)  # ReproArtifact
+
+    @property
+    def violations(self) -> list[tuple[int, Violation]]:
+        found = []
+        for index, outcome in enumerate(self.outcomes):
+            for violation in outcome.violations:
+                found.append((index, violation))
+        return found
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary_rows(self) -> list[list[Any]]:
+        """Per-grid-cell roll-up for the campaign summary table."""
+        buckets: dict[tuple[str, float, int], dict[str, Any]] = {}
+        for outcome in self.outcomes:
+            spec = outcome.spec
+            key = (
+                spec.strategy,
+                spec.crash_probability,
+                len(spec.fault_specs),
+            )
+            bucket = buckets.setdefault(
+                key,
+                {"runs": 0, "succeeded": 0, "violations": 0, "faults": 0},
+            )
+            bucket["runs"] += 1
+            bucket["succeeded"] += 1 if outcome.result.report.success else 0
+            bucket["violations"] += len(outcome.violations)
+            injector = outcome.result.fault_injector
+            bucket["faults"] += len(injector.decisions) if injector else 0
+        rows = []
+        for (strategy, crash_probability, n_specs), bucket in sorted(buckets.items()):
+            rows.append(
+                [
+                    strategy,
+                    crash_probability,
+                    n_specs,
+                    bucket["runs"],
+                    bucket["succeeded"],
+                    bucket["faults"],
+                    bucket["violations"],
+                ]
+            )
+        return rows
+
+
+def _reproduces_with_plan(
+    spec: RunSpec, invariant: str
+) -> Any:
+    """Build the shrinker's predicate: does this failure plan alone
+    (stochastic injectors off) still trigger the same invariant?"""
+
+    def predicate(plan: FailurePlan) -> bool:
+        candidate = dataclasses.replace(
+            spec,
+            failure_plan=plan if (plan.crashes or plan.disconnections) else None,
+            crash_probability=0.0,
+            disconnect_probability=0.0,
+        )
+        outcome = run_single(candidate)
+        return any(v.invariant == invariant for v in outcome.violations)
+
+    return predicate
+
+
+def run_campaign(config: CampaignConfig, telemetry: Any = None) -> CampaignResult:
+    """Run a full campaign; shrink and record an artifact per violation."""
+    from repro.chaos.artifact import ReproArtifact
+    from repro.telemetry import get_telemetry
+
+    if telemetry is None:
+        telemetry = get_telemetry()
+    metrics = telemetry.metrics
+    m_runs = metrics.counter("chaos.runs")
+    campaign_span = telemetry.tracer.start(
+        "chaos:campaign", at=0.0, seed=config.seed, runs=config.runs
+    )
+    result = CampaignResult(config=config)
+    for index in range(config.runs):
+        spec = config.spec_for(index)
+        run_span = telemetry.tracer.start(
+            f"chaos:run[{index}]",
+            at=float(index),
+            parent=campaign_span,
+            seed=spec.seed,
+            strategy=spec.strategy,
+        )
+        outcome = run_single(spec)
+        result.outcomes.append(outcome)
+        m_runs.inc()
+        for violation in outcome.violations:
+            metrics.counter(
+                "chaos.invariant_violations", invariant=violation.invariant
+            ).inc()
+            telemetry.tracer.event(
+                "chaos:violation",
+                at=float(index),
+                run=index,
+                invariant=violation.invariant,
+            )
+            artifact = _build_artifact(
+                config, spec, outcome, violation, ReproArtifact
+            )
+            result.artifacts.append(artifact)
+        run_span.finish(at=float(index + 1))
+    campaign_span.finish(at=float(config.runs))
+    return result
+
+
+def _build_artifact(
+    config: CampaignConfig,
+    spec: RunSpec,
+    outcome: RunOutcome,
+    violation: Violation,
+    artifact_cls: Any,
+) -> Any:
+    """Shrink the failure schedule behind a violation to a minimal
+    scripted :class:`FailurePlan` when possible.
+
+    The scripted conversion replays recorded crash/disconnect events as
+    a declarative plan with the stochastic injector off.  Event
+    interleaving at equal timestamps can differ from the original
+    injector-driven timeline, so the conversion is verification-driven:
+    it is kept only if the same invariant still fires.  Otherwise the
+    artifact falls back to "stochastic" mode — the original spec
+    verbatim, which is equally deterministic (same seed, same tag).
+    """
+    if not config.shrink:
+        return artifact_cls.from_violation(violation, spec, mode="stochastic")
+    events = outcome.result.failure_events or []
+    full_plan = failure_plan_from_events(events)
+    if spec.failure_plan is not None:
+        # scripted inputs merge with observed events (idempotent: the
+        # scripted plan's own firings are part of the event log)
+        for device, at in spec.failure_plan.crashes.items():
+            full_plan.crashes.setdefault(device, at)
+        for device, windows in spec.failure_plan.disconnections.items():
+            full_plan.disconnections.setdefault(device, list(windows))
+    predicate = _reproduces_with_plan(spec, violation.invariant)
+    if not predicate(full_plan):
+        return artifact_cls.from_violation(violation, spec, mode="stochastic")
+    shrunk = shrink_failure_plan(
+        full_plan, predicate, max_attempts=config.shrink_budget
+    )
+    scripted_spec = dataclasses.replace(
+        spec,
+        failure_plan=(
+            shrunk if (shrunk.crashes or shrunk.disconnections) else None
+        ),
+        crash_probability=0.0,
+        disconnect_probability=0.0,
+    )
+    return artifact_cls.from_violation(violation, scripted_spec, mode="scripted")

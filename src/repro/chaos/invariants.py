@@ -1,0 +1,315 @@
+"""Property invariants checked after every chaos run.
+
+The paper claims three properties for Edgelet query processing —
+Resiliency, Validity, and Crowd Liability — and the execution machinery
+implicitly relies on two more mechanical ones (Combiner partial
+recording is dedup-idempotent; a backup chain never produces two
+takeovers at the same rank).  This module turns each claim into an
+executable check over a finished :class:`~repro.manager.scenario.
+ScenarioResult`, so a campaign can assert them after every seeded run.
+
+The checks are deliberately *one-sided*: they only flag states the
+strategies promise can never happen, never mere degradation the fault
+load legitimately explains.  A lossy run that misses groups is graceful
+degradation; a fault-free run that fails, or a corrupted value past the
+approximation bound, is a violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.validity import compare_results
+
+__all__ = [
+    "Violation",
+    "RunRecord",
+    "check_resiliency",
+    "check_validity",
+    "check_crowd_liability",
+    "check_combiner_dedup",
+    "check_no_double_takeover",
+    "check_all",
+    "INVARIANTS",
+]
+
+# float slack for "exact" comparisons: partial states merge in a
+# different order than one centralized pass, so bit-equality is not the
+# meaningful criterion (mirrors ValidityReport.exact_match)
+EXACT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found in one run."""
+
+    invariant: str
+    detail: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"invariant": self.invariant, "detail": self.detail, "data": self.data}
+
+
+@dataclass
+class RunRecord:
+    """Everything the invariant checks need to know about one run.
+
+    Attributes:
+        result: the finished scenario result (report, plan, executor,
+            failure/fault logs).
+        reference: the fault-free centralized result of the same logical
+            query over the full dataset, or ``None`` for non-aggregate
+            runs.
+        strategy: ``"overcollection"`` or ``"backup"``.
+        clean: whether the run experienced *no* failure or fault of any
+            kind (no crash/disconnect events, no injected message
+            faults, no network loss of any category) — clean runs must
+            succeed exactly.
+        validity_tolerance: max relative error tolerated on shared
+            cells for non-clean runs (the plan's approximation bound).
+        liability_max_share: cap on a single device's share of the
+            data-processor operators.
+    """
+
+    result: Any
+    reference: Any = None
+    strategy: str = "overcollection"
+    clean: bool = False
+    validity_tolerance: float = 0.75
+    liability_max_share: float = 0.5
+
+
+def _network_losses(report: Any) -> dict[str, float]:
+    stats = report.network_stats or {}
+    return {
+        key: stats.get(key, 0)
+        for key in (
+            "lost",
+            "dropped_timeout",
+            "no_route",
+            "to_dead_device",
+            "fault_dropped",
+            "fault_corrupted",
+        )
+    }
+
+
+def check_resiliency(record: RunRecord) -> Violation | None:
+    """The query completes, or fails only for causes the fault load
+    explains (Resiliency: "the query is executed to completion despite
+    failures" — up to the plan's tolerance).
+
+    Two violation modes:
+
+    * a **clean** run did not succeed — nothing failed, so nothing may
+      be degraded;
+    * a crash-only run failed although the damage stayed within the
+      plan's tolerance: the querier is alive, some combiner device is
+      alive and heard at least one partial for every vertical group,
+      and no message-level loss mechanism was active.
+    """
+    result = record.result
+    report = result.report
+    if report.success and report.result is not None:
+        return None
+    if report.success and report.result is None and report.kmeans is None:
+        return Violation(
+            "resiliency",
+            "querier acknowledged a final result but the report carries none",
+        )
+    if record.clean:
+        return Violation(
+            "resiliency",
+            "fault-free run did not complete",
+            {"network": _network_losses(report)},
+        )
+
+    executor = result.executor
+    events = result.failure_events or []
+    kinds = {event.kind for event in events}
+    message_level_active = (
+        any(_network_losses(report).values())
+        or result.fault_injector is not None
+        and bool(result.fault_injector.decisions)
+        or "disconnect" in kinds
+    )
+    if message_level_active or executor is None:
+        return None  # loss/offline windows legitimately explain failure
+
+    from repro.core.qep import OperatorRole
+
+    network = executor.network
+    querier_ops = result.plan.operators(OperatorRole.QUERIER)
+    querier_device = querier_ops[0].assigned_to if querier_ops else None
+    if querier_device is None or network.is_dead(querier_device):
+        return None
+    for name, runtime in getattr(executor, "_combiners", {}).items():
+        combiner_op = result.plan.operator(name)
+        if combiner_op.assigned_to is None:
+            continue
+        if not network.is_online(combiner_op.assigned_to):
+            continue
+        tallies = runtime.group_tallies
+        if tallies and all(t.received_count > 0 for t in tallies):
+            worst = min(tallies, key=lambda t: t.received_count)
+            if worst.lost_count <= worst.config.m:
+                return Violation(
+                    "resiliency",
+                    f"damage within tolerance (lost {worst.lost_count} <= "
+                    f"m={worst.config.m} at live {name}) but the query failed",
+                    {"combiner": name, "tally": runtime.tally_summary()},
+                )
+    return None
+
+
+def check_validity(record: RunRecord) -> Violation | None:
+    """The delivered result matches the centralized oracle (Validity).
+
+    Clean runs must match exactly (up to float merge-order round-off).
+    Faulty runs are held to the plan's approximation bound on the cells
+    both results share; groups entirely lost to failures are graceful
+    degradation, not invalidity — but a surviving cell further from the
+    oracle than ``validity_tolerance`` means a wrong answer was
+    delivered as if it were right.
+    """
+    report = record.result.report
+    if not report.success or report.result is None or record.reference is None:
+        return None
+    comparison = compare_results(record.reference, report.result)
+    if record.clean:
+        if not comparison.is_valid(EXACT_TOLERANCE):
+            return Violation(
+                "validity",
+                "fault-free result differs from the centralized oracle",
+                {"comparison": comparison.summary()},
+            )
+        return None
+    if comparison.max_relative_error > record.validity_tolerance:
+        return Violation(
+            "validity",
+            f"shared-cell relative error {comparison.max_relative_error:.4g} "
+            f"exceeds the approximation bound {record.validity_tolerance}",
+            {"comparison": comparison.summary()},
+        )
+    return None
+
+
+def check_crowd_liability(record: RunRecord) -> Violation | None:
+    """No single device concentrates the processing (Crowd Liability).
+
+    Two sub-checks: the assignment keeps every device's operator share
+    under ``liability_max_share``, and no device *handled* more raw
+    tuples than the plan's exposure bound allows for the operators it
+    hosts (``max_raw_tuples_per_edgelet`` per raw-handling operator).
+    """
+    result = record.result
+    liability = result.liability
+    exposure = result.exposure
+    if liability is None or exposure is None:
+        return None
+    if not liability.is_crowd_liable(record.liability_max_share):
+        return Violation(
+            "crowd_liability",
+            f"one device carries {liability.max_share:.2%} of the operators "
+            f"(cap {record.liability_max_share:.2%})",
+            {"liability": liability.summary()},
+        )
+    cap_per_op = exposure.max_raw_tuples_per_edgelet
+    for device, tuples in (result.report.tuples_per_device or {}).items():
+        ops = liability.operators_per_device.get(device, 0)
+        allowed = cap_per_op * max(ops, 0)
+        if tuples > allowed:
+            return Violation(
+                "crowd_liability",
+                f"device {device} handled {tuples} raw tuples, above its "
+                f"exposure cap {allowed} ({ops} ops x {cap_per_op})",
+                {"device": device, "tuples": tuples, "cap": allowed},
+            )
+    return None
+
+
+def check_combiner_dedup(record: RunRecord) -> Violation | None:
+    """Recording every received partial twice must not change the final
+    result — the idempotence Overcollection and Backup both lean on
+    when markers are lost and duplicates reach the Combiner.
+    """
+    executor = record.result.executor
+    if executor is None or getattr(executor, "kind", None) != "aggregate":
+        return None
+    if executor.query is None:
+        return None
+    from repro.core.execution import _CombinerRuntime
+
+    indices = executor._aggregate_indices_per_group
+    for name, runtime in executor._combiners.items():
+        if not runtime.partials:
+            continue
+        once = _CombinerRuntime(
+            name, runtime.config, runtime.n_groups, executor.query,
+            runtime.extrapolate,
+        )
+        twice = _CombinerRuntime(
+            name, runtime.config, runtime.n_groups, executor.query,
+            runtime.extrapolate,
+        )
+        for (partition, group), partial in sorted(runtime.partials.items()):
+            once.record_partial(partition, group, partial)
+            twice.record_partial(partition, group, partial)
+            twice.record_partial(partition, group, partial)
+        result_once = once.finalize_aggregate(indices)
+        result_twice = twice.finalize_aggregate(indices)
+        if (result_once is None) != (result_twice is None):
+            return Violation(
+                "combiner_dedup",
+                f"{name}: duplicate recording changed finalizability",
+            )
+        if result_once is None:
+            continue
+        comparison = compare_results(result_once, result_twice)
+        if not comparison.is_valid(EXACT_TOLERANCE):
+            return Violation(
+                "combiner_dedup",
+                f"{name}: duplicate partial recording changed the result",
+                {"comparison": comparison.summary()},
+            )
+    return None
+
+
+def check_no_double_takeover(record: RunRecord) -> Violation | None:
+    """A backup chain fires at most one takeover per (base, rank) — a
+    duplicate means the same replica executed twice."""
+    executor = record.result.executor
+    log = getattr(executor, "takeover_log", None)
+    if not log:
+        return None
+    seen: set[tuple[str, int]] = set()
+    for _time, base, rank in log:
+        if (base, rank) in seen:
+            return Violation(
+                "no_double_takeover",
+                f"replica rank {rank} of {base} took over twice",
+                {"takeover_log": [list(entry) for entry in log]},
+            )
+        seen.add((base, rank))
+    return None
+
+
+INVARIANTS = {
+    "resiliency": check_resiliency,
+    "validity": check_validity,
+    "crowd_liability": check_crowd_liability,
+    "combiner_dedup": check_combiner_dedup,
+    "no_double_takeover": check_no_double_takeover,
+}
+
+
+def check_all(record: RunRecord) -> list[Violation]:
+    """Run every invariant; returns the violations found (often [])."""
+    violations = []
+    for check in INVARIANTS.values():
+        violation = check(record)
+        if violation is not None:
+            violations.append(violation)
+    return violations

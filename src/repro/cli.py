@@ -7,7 +7,11 @@ A text substitute for the demonstration GUI.  Subcommands:
   display the result, tally, and centralized verification (demo Part 2);
 * ``kmeans`` — execute the distributed K-Means query;
 * ``resiliency`` — print the overcollection table for a fault-rate
-  sweep (the failure slider).
+  sweep (the failure slider);
+* ``chaos`` — run a seeded chaos campaign (strategy x failure
+  probability x fault mix), check the paper's property invariants
+  after every run, and write shrunk JSON repro artifacts for any
+  violation; ``--replay PATH`` re-executes one artifact.
 
 ``run`` and ``kmeans`` accept ``--metrics-out PATH`` to write the
 telemetry JSONL export and ``--telemetry`` to print the summary table
@@ -21,6 +25,9 @@ Examples::
         --sql "SELECT count(*), avg(age) FROM health GROUP BY region"
     python -m repro.cli kmeans --contributors 150 --heartbeats 6
     python -m repro.cli resiliency --n 10
+    python -m repro.cli chaos --seed 7 --runs 25 --strategy both \
+        --fault-mix "drop=0.05;partition:duplicate=0.2" --repro-out repro/
+    python -m repro.cli chaos --replay repro/repro-validity-000.json
 """
 
 from __future__ import annotations
@@ -65,6 +72,21 @@ def _parse_pairs(raw: str | None) -> tuple[tuple[str, str], ...]:
             )
         pairs.append((parts[0], parts[1]))
     return tuple(pairs)
+
+
+def _parse_probabilities(raw: str) -> tuple[float, ...]:
+    """Parse ``0.0,0.002`` into a tuple of probabilities."""
+    try:
+        values = tuple(float(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"probabilities look like '0.0,0.002', got {raw!r}"
+        ) from None
+    if not values or any(not 0.0 <= value <= 1.0 for value in values):
+        raise argparse.ArgumentTypeError(
+            f"probabilities must be in [0, 1], got {raw!r}"
+        )
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,6 +152,45 @@ def build_parser() -> argparse.ArgumentParser:
     resiliency.add_argument("--n", type=int, default=10,
                             help="horizontal partitioning degree")
     resiliency.add_argument("--target-success", type=float, default=0.99)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded chaos campaign with invariant checking"
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed; run i uses seed + i*100003")
+    chaos.add_argument("--runs", type=int, default=25)
+    chaos.add_argument("--strategy",
+                       choices=("overcollection", "backup", "both"),
+                       default="both")
+    chaos.add_argument("--fault-mix", default=None, metavar="MIX",
+                       help="message faults, e.g. "
+                            "'drop=0.05;partition:duplicate=0.2,delay=0.1' "
+                            "(knobs: drop, duplicate, delay, delay_min, "
+                            "delay_max, corrupt, corrupt_scale)")
+    chaos.add_argument("--failure-probability", type=_parse_probabilities,
+                       default=(0.0, 0.002), metavar="P[,P...]",
+                       help="per-device per-tick crash probabilities to sweep")
+    chaos.add_argument("--disconnect-probability", type=float, default=0.0)
+    chaos.add_argument("--contributors", type=int, default=24)
+    chaos.add_argument("--processors", type=int, default=20)
+    chaos.add_argument("--rows", type=int, default=48)
+    chaos.add_argument("--backup-replicas", type=int, default=1)
+    chaos.add_argument("--validity-tolerance", type=float, default=0.75,
+                       help="max relative error tolerated on shared cells "
+                            "for runs that experienced faults (calibrate to "
+                            "the plan's m/n extrapolation bound)")
+    chaos.add_argument("--repro-out", metavar="DIR", default=None,
+                       help="write one JSON repro artifact per violation")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="skip failure-schedule shrinking on violation")
+    chaos.add_argument("--shrink-budget", type=int, default=24,
+                       help="max scenario re-executions per shrink")
+    chaos.add_argument("--replay", metavar="PATH", default=None,
+                       help="replay one repro artifact instead of sweeping")
+    chaos.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the telemetry JSONL export to PATH")
+    chaos.add_argument("--telemetry", action="store_true",
+                       help="print the telemetry summary table")
 
     advise = sub.add_parser(
         "advise", help="recommend a resiliency strategy for a query"
@@ -277,6 +338,109 @@ def _cmd_resiliency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_rows(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Minimal fixed-width table (the GUI substitute's summary view)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.rjust(widths[i]) for i, header in enumerate(headers))
+    ]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    from repro.chaos import ReproArtifact
+
+    artifact = ReproArtifact.load(args.replay)
+    print(f"replaying {args.replay}")
+    print(f"  invariant: {artifact.invariant}")
+    print(f"  mode:      {artifact.mode}")
+    print(f"  detail:    {artifact.detail}")
+    telemetry = Telemetry()
+    outcome = artifact.replay(telemetry=telemetry)
+    _emit_telemetry(args, telemetry)
+    for violation in outcome.violations:
+        print(f"  violated:  {violation.invariant} — {violation.detail}")
+    if artifact.reproduced(outcome):
+        print("  reproduced: yes (recorded invariant fired again)")
+        return 1
+    print("  reproduced: NO — the recorded invariant did not fire")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.chaos import (
+        CampaignConfig,
+        TopologySpec,
+        parse_fault_mix,
+        run_campaign,
+    )
+
+    if args.replay:
+        return _cmd_chaos_replay(args)
+
+    strategies = (
+        ("overcollection", "backup")
+        if args.strategy == "both"
+        else (args.strategy,)
+    )
+    fault_mix = parse_fault_mix(args.fault_mix) if args.fault_mix else ()
+    config = CampaignConfig(
+        seed=args.seed,
+        runs=args.runs,
+        strategies=strategies,
+        crash_probabilities=args.failure_probability,
+        disconnect_probability=args.disconnect_probability,
+        fault_mixes=(fault_mix,),
+        topologies=(
+            TopologySpec(
+                n_contributors=args.contributors,
+                n_processors=args.processors,
+                n_rows=args.rows,
+            ),
+        ),
+        backup_replicas=args.backup_replicas,
+        validity_tolerance=args.validity_tolerance,
+        shrink=not args.no_shrink,
+        shrink_budget=args.shrink_budget,
+    )
+    telemetry = Telemetry()
+    result = run_campaign(config, telemetry=telemetry)
+    print(
+        f"chaos campaign: seed={config.seed} runs={config.runs} "
+        f"strategies={','.join(strategies)}"
+    )
+    print(
+        _render_rows(
+            ["strategy", "crash p", "mix", "runs", "ok", "faults", "violations"],
+            result.summary_rows(),
+        )
+    )
+    for index, violation in result.violations:
+        print(f"  run {index}: {violation.invariant} — {violation.detail}")
+    if args.repro_out and result.artifacts:
+        out_dir = Path(args.repro_out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for index, artifact in enumerate(result.artifacts):
+            path = out_dir / f"repro-{artifact.invariant}-{index:03d}.json"
+            artifact.save(path)
+            print(f"  artifact: {path} ({artifact.mode})")
+    _emit_telemetry(args, telemetry)
+    if result.ok:
+        print("all invariants held")
+        return 0
+    print(f"{len(result.violations)} invariant violation(s)")
+    return 1
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.core.advisor import QueryProperties, recommend_strategy
 
@@ -302,6 +466,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "kmeans": _cmd_kmeans,
     "resiliency": _cmd_resiliency,
+    "chaos": _cmd_chaos,
     "advise": _cmd_advise,
 }
 

@@ -138,7 +138,14 @@ class BackupExecutor(EdgeletExecutor):
                 )
 
     def _make_builder_fire(self, base: str, operator: Operator):
+        # fence against Simulator.reset(): a timer armed on the previous
+        # timeline must never execute on the new one, even if the fire
+        # closure leaks out of the cancelled event queue
+        epoch = self.simulator.epoch
+
         def fire() -> None:
+            if self.simulator.epoch != epoch:
+                return
             device = self._device_of(operator)
             rank = _rank_of(operator)
             if rank > 0:
@@ -235,7 +242,11 @@ class BackupExecutor(EdgeletExecutor):
             )
 
     def _make_computer_takeover(self, base: str, operator: Operator):
+        epoch = self.simulator.epoch
+
         def fire() -> None:
+            if self.simulator.epoch != epoch:
+                return
             device = self._device_of(operator)
             if device.device_id in self._shipped_heard.get(base, set()):
                 return

@@ -407,6 +407,10 @@ class EdgeletExecutor:
         self._kmeans_states: dict[int, KMeansComputerState] = {}
         self._kmeans_rows: dict[int, list[dict[str, Any]]] = {}
         self._builder_rows: dict[int, list[dict[str, Any]]] = {}
+        # first-wins guard against duplicated PARTITION messages: a
+        # Computer runs its partition exactly once, so a network-level
+        # duplicate must not double-count tuples or recompute partials
+        self._partitions_seen: set[tuple[int, int]] = set()
         self._combiners: dict[str, _CombinerRuntime] = {}
         self._final_delivered = False
         self._stats_delivered = False
@@ -689,7 +693,7 @@ class EdgeletExecutor:
         snapshot stays representative, only marginally smaller.
         """
         contribution_id = payload.get("contribution_id")
-        if contribution_id is None or self.contribution_copies == 1:
+        if contribution_id is None:
             return False
         from repro.query.sketches import BloomFilter
 
@@ -799,6 +803,9 @@ class EdgeletExecutor:
     def _on_partition(self, device: Edgelet, payload: dict[str, Any]) -> None:
         partition_index = payload["partition_index"]
         group_index = payload.get("group_index", 0)
+        if (partition_index, group_index) in self._partitions_seen:
+            return  # duplicated in transit; this Computer already ran
+        self._partitions_seen.add((partition_index, group_index))
         rows = payload["rows"]
         self._count_tuples(device.device_id, len(rows))
         computer = self._find_computer(partition_index, group_index)

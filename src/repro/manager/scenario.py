@@ -73,6 +73,17 @@ class ScenarioConfig:
             ``caregiver_visit`` seconds every ``caregiver_period``).
         caregiver_visit: visit duration for the rounds schedule.
         seed: master randomness seed.
+        scenario_tag: override for the auto-numbered device-ID prefix.
+            Device identities (and the keys derived from them) are a
+            pure function of ``(scenario_tag, seed)``, so a chaos repro
+            artifact replayed in a fresh process rebuilds the exact same
+            swarm regardless of how many scenarios ran before it.
+        failure_plan: optional scripted
+            :class:`~repro.network.failures.FailurePlan` installed at
+            query start (chaos replay path).
+        fault_specs: optional tuple of
+            :class:`~repro.chaos.faults.FaultSpec` message-fault rules
+            installed on the network (seeded with ``seed + 3``).
     """
 
     n_contributors: int
@@ -94,6 +105,9 @@ class ScenarioConfig:
     caregiver_period: float | None = None
     caregiver_visit: float = 10.0
     seed: int = 0
+    scenario_tag: str | None = None
+    failure_plan: Any = None
+    fault_specs: Any = None
 
     def __post_init__(self) -> None:
         if self.n_contributors <= 0:
@@ -126,6 +140,12 @@ class ScenarioResult:
         liability: crowd-liability distribution.
         verification: filled by
             :func:`repro.manager.verification.verify_against_centralized`.
+        executor: the executor instance (chaos invariants inspect its
+            combiner runtimes and takeover log post-run).
+        failure_events: log filled by the scripted failure plan and/or
+            the stochastic injector, in firing order.
+        fault_injector: the message-fault injector, if one was
+            installed (its decision log feeds the shrinker).
     """
 
     report: ExecutionReport
@@ -133,6 +153,9 @@ class ScenarioResult:
     exposure: ExposureReport | None = None
     liability: LiabilityReport | None = None
     verification: Any = None
+    executor: Any = None
+    failure_events: list[Any] = field(default_factory=list)
+    fault_injector: Any = None
 
 
 class Scenario:
@@ -155,6 +178,7 @@ class Scenario:
         self.telemetry = telemetry
         self.config = config
         self.scenario_id = next(_scenario_ids)
+        self.tag = config.scenario_tag or f"s{self.scenario_id}"
         self._rng = random.Random(config.seed)
         self.simulator = Simulator(telemetry=telemetry)
         telemetry.tracer.use_clock(lambda: self.simulator.now)
@@ -188,23 +212,23 @@ class Scenario:
         for index in range(config.n_contributors):
             device = Edgelet(
                 self._pick_profile(),
-                device_id=f"s{self.scenario_id}-contrib-{index:05d}",
-                seed=f"s{self.scenario_id}-contrib-{index}-{config.seed}".encode(),
+                device_id=f"{self.tag}-contrib-{index:05d}",
+                seed=f"{self.tag}-contrib-{index}-{config.seed}".encode(),
             )
             self.contributors.append(device)
         for index in range(config.n_processors):
             rogue = index < config.rogue_processors
             device = Edgelet(
                 self._pick_profile(),
-                device_id=f"s{self.scenario_id}-proc-{index:05d}",
-                seed=f"s{self.scenario_id}-proc-{index}-{config.seed}".encode(),
+                device_id=f"{self.tag}-proc-{index:05d}",
+                seed=f"{self.tag}-proc-{index}-{config.seed}".encode(),
                 code_identity="rogue-runtime" if rogue else "edgelet-runtime-v1",
             )
             self.processors.append(device)
         self.querier_device = Edgelet(
             PC_SGX,
-            device_id=f"s{self.scenario_id}-querier",
-            seed=f"s{self.scenario_id}-querier-{config.seed}".encode(),
+            device_id=f"{self.tag}-querier",
+            seed=f"{self.tag}-querier-{config.seed}".encode(),
         )
         # only the genuine runtime's measurement is trusted; rogue
         # runtimes have genuine *hardware* (registered keys) but fail
@@ -333,6 +357,19 @@ class Scenario:
             )
             schedule.install(self.simulator, self.network)
 
+        if self.config.fault_specs:
+            from repro.chaos.faults import MessageFaultInjector
+
+            self.network.install_faults(
+                MessageFaultInjector(self.config.fault_specs, seed=self.config.seed + 3)
+            )
+
+        scripted_events: list[Any] = []
+        if self.config.failure_plan is not None:
+            scripted_events = self.config.failure_plan.apply(
+                self.simulator, self.network
+            )
+
         if self.config.crash_probability > 0 or self.config.disconnect_probability > 0:
             self.injector = FailureInjector(
                 self.simulator,
@@ -357,8 +394,18 @@ class Scenario:
                 )
         exposure = measure_exposure(plan, separated_pairs=separated_pairs)
         liability = measure_liability(plan, tuples_per_device=report.tuples_per_device)
+        failure_events = list(scripted_events)
+        if self.injector is not None:
+            failure_events.extend(self.injector.events)
+        failure_events.sort(key=lambda e: e.time)
         return ScenarioResult(
-            report=report, plan=plan, exposure=exposure, liability=liability
+            report=report,
+            plan=plan,
+            exposure=exposure,
+            liability=liability,
+            executor=executor,
+            failure_events=failure_events,
+            fault_injector=self.network.faults,
         )
 
     def centralized_result(self, spec: QuerySpec):

@@ -31,6 +31,17 @@ class FailureEvent:
     kind: str  # "crash", "disconnect", "reconnect"
 
 
+def _merge_windows(windows: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge overlapping or touching (start, end) windows into a sorted union."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
 @dataclass
 class FailurePlan:
     """Declarative failure schedule.
@@ -38,8 +49,9 @@ class FailurePlan:
     Attributes:
         crashes: map device_id -> virtual time of permanent crash.
         disconnections: map device_id -> list of (start, end) offline
-            windows.  Windows may overlap; the device is offline in the
-            union of its windows.
+            windows.  Windows may overlap as written; they are merged
+            into their union before the schedule is installed, so a
+            device never receives interleaved offline/online toggles.
     """
 
     crashes: dict[str, float] = field(default_factory=dict)
@@ -49,6 +61,12 @@ class FailurePlan:
         """Schedule a permanent crash (fluent)."""
         if at < 0:
             raise ValueError("crash time must be non-negative")
+        for start, _end in self.disconnections.get(device_id, ()):
+            if start >= at:
+                raise ValueError(
+                    f"device {device_id!r} has a disconnect window starting at "
+                    f"{start} but would already be crashed at {at}"
+                )
         self.crashes[device_id] = at
         return self
 
@@ -56,12 +74,66 @@ class FailurePlan:
         """Schedule an offline window (fluent)."""
         if not 0 <= start < end:
             raise ValueError("need 0 <= start < end")
+        crash_at = self.crashes.get(device_id)
+        if crash_at is not None and start >= crash_at:
+            raise ValueError(
+                f"device {device_id!r} crashes at {crash_at}; cannot schedule a "
+                f"disconnect starting at {start} after it is dead"
+            )
         self.disconnections.setdefault(device_id, []).append((start, end))
         return self
+
+    def normalized(self) -> "FailurePlan":
+        """Return an equivalent plan with each device's windows merged
+        into a sorted, non-overlapping union."""
+        return FailurePlan(
+            crashes=dict(self.crashes),
+            disconnections={
+                device_id: _merge_windows(windows)
+                for device_id, windows in self.disconnections.items()
+                if windows
+            },
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any disconnect starts at or after the
+        same device's crash time (the device would already be dead)."""
+        for device_id, windows in self.disconnections.items():
+            crash_at = self.crashes.get(device_id)
+            if crash_at is None:
+                continue
+            for start, _end in windows:
+                if start >= crash_at:
+                    raise ValueError(
+                        f"device {device_id!r} crashes at {crash_at}; disconnect "
+                        f"window starting at {start} can never take effect"
+                    )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (stable key order for artifacts)."""
+        return {
+            "crashes": {d: self.crashes[d] for d in sorted(self.crashes)},
+            "disconnections": {
+                d: [list(w) for w in self.disconnections[d]]
+                for d in sorted(self.disconnections)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FailurePlan":
+        return cls(
+            crashes={str(d): float(t) for d, t in payload.get("crashes", {}).items()},
+            disconnections={
+                str(d): [(float(s), float(e)) for s, e in windows]
+                for d, windows in payload.get("disconnections", {}).items()
+            },
+        )
 
     def apply(self, simulator: Simulator, network: OpportunisticNetwork) -> list[FailureEvent]:
         """Install the schedule on the simulator.  Returns the shared,
         initially-empty event log that fills as failures fire."""
+        self.validate()
+        plan = self.normalized()
         log: list[FailureEvent] = []
 
         def make_crash(device_id: str):
@@ -72,14 +144,16 @@ class FailurePlan:
 
         def make_toggle(device_id: str, online: bool):
             def fire() -> None:
+                if network.is_dead(device_id):
+                    return
                 network.set_online(device_id, online)
                 kind = "reconnect" if online else "disconnect"
                 log.append(FailureEvent(simulator.now, device_id, kind))
             return fire
 
-        for device_id, at in self.crashes.items():
+        for device_id, at in plan.crashes.items():
             simulator.schedule_at(at, make_crash(device_id), f"crash {device_id}")
-        for device_id, windows in self.disconnections.items():
+        for device_id, windows in plan.disconnections.items():
             for start, end in windows:
                 simulator.schedule_at(start, make_toggle(device_id, False), f"offline {device_id}")
                 simulator.schedule_at(end, make_toggle(device_id, True), f"online {device_id}")

@@ -61,7 +61,8 @@ class DeliveryReceipt:
     """Outcome record for one send attempt (for traces and stats)."""
 
     message_id: int
-    outcome: str  # "delivered", "lost", "dropped_timeout", "no_route", "dead"
+    outcome: str  # "delivered", "lost", "dropped_timeout", "no_route",
+    #               "dead", "dropped_fault"
     latency: float | None = None
 
 
@@ -75,6 +76,10 @@ class NetworkStats:
         self.dropped_timeout = 0
         self.no_route = 0
         self.to_dead_device = 0
+        self.fault_dropped = 0
+        self.fault_duplicated = 0
+        self.fault_delayed = 0
+        self.fault_corrupted = 0
         self.bytes_sent = 0
         self.bytes_delivered = 0
         self.by_kind: dict[str, int] = {}
@@ -91,6 +96,10 @@ class NetworkStats:
             "dropped_timeout": self.dropped_timeout,
             "no_route": self.no_route,
             "to_dead_device": self.to_dead_device,
+            "fault_dropped": self.fault_dropped,
+            "fault_duplicated": self.fault_duplicated,
+            "fault_delayed": self.fault_delayed,
+            "fault_corrupted": self.fault_corrupted,
             "bytes_sent": self.bytes_sent,
             "bytes_delivered": self.bytes_delivered,
             "delivery_ratio": ratio,
@@ -122,6 +131,9 @@ class OpportunisticNetwork:
         self._dead: set[str] = set()
         self._inboxes: dict[str, list[tuple[float, Message]]] = {}
         self._receipts: list[DeliveryReceipt] = []
+        # optional chaos hook (see repro.chaos.faults.MessageFaultInjector);
+        # owns its own RNG, so installing one never shifts self._rng's stream
+        self.faults: Any = None
         if telemetry is None:
             telemetry = simulator.telemetry
         self.telemetry = telemetry
@@ -136,6 +148,10 @@ class OpportunisticNetwork:
         self._m_bytes_delivered = metrics.counter("net.bytes_delivered")
         self._g_buffered = metrics.gauge("net.store_and_forward_occupancy")
         self._h_latency = metrics.histogram("net.delivery_latency")
+        self._m_fault_dropped = metrics.counter("net.fault_dropped")
+        self._m_fault_duplicated = metrics.counter("net.fault_duplicated")
+        self._m_fault_delayed = metrics.counter("net.fault_delayed")
+        self._m_fault_corrupted = metrics.counter("net.fault_corrupted")
 
     # -- device lifecycle -------------------------------------------------
 
@@ -203,32 +219,69 @@ class OpportunisticNetwork:
             self._receipts.append(DeliveryReceipt(message.message_id, "dead"))
             return
 
-        if self._rng.random() < self.config.global_loss_probability:
-            self._record_loss(message)
-            return
-
-        quality, hops = self._route(message.sender, message.recipient)
-        if quality is None:
-            self.stats.no_route += 1
-            self._m_no_route.inc()
-            self._receipts.append(DeliveryReceipt(message.message_id, "no_route"))
-            return
-
-        # one loss trial per hop
-        for _ in range(hops):
-            if self._rng.random() < quality.loss_probability:
-                self._record_loss(message)
+        copies = 1
+        extra_delay = 0.0
+        if self.faults is not None:
+            decision = self.faults.on_send(message)
+            if decision.drop:
+                self.stats.fault_dropped += 1
+                self._m_fault_dropped.inc()
+                self._receipts.append(
+                    DeliveryReceipt(message.message_id, "dropped_fault")
+                )
                 return
+            if decision.corrupt:
+                message.payload = self.faults.corrupt_payload(message.payload)
+                self.stats.fault_corrupted += 1
+                self._m_fault_corrupted.inc()
+            if decision.copies > 1:
+                self.stats.fault_duplicated += decision.copies - 1
+                self._m_fault_duplicated.inc(decision.copies - 1)
+            if decision.extra_delay > 0:
+                self.stats.fault_delayed += 1
+                self._m_fault_delayed.inc()
+            copies = decision.copies
+            extra_delay = decision.extra_delay
 
-        latency = sum(
-            quality.sample_latency(message.size_bytes, self._rng)
-            for _ in range(hops)
-        )
-        self.simulator.schedule(
-            latency,
-            lambda: self._arrive(message),
-            description=f"deliver {message.describe()}",
-        )
+        # each copy takes its own loss and latency trials, exactly the
+        # draws the single-copy path always made (stream-compatible)
+        for _ in range(copies):
+            if self._rng.random() < self.config.global_loss_probability:
+                self._record_loss(message)
+                continue
+
+            quality, hops = self._route(message.sender, message.recipient)
+            if quality is None:
+                self.stats.no_route += 1
+                self._m_no_route.inc()
+                self._receipts.append(
+                    DeliveryReceipt(message.message_id, "no_route")
+                )
+                continue
+
+            # one loss trial per hop
+            lost = False
+            for _ in range(hops):
+                if self._rng.random() < quality.loss_probability:
+                    self._record_loss(message)
+                    lost = True
+                    break
+            if lost:
+                continue
+
+            latency = extra_delay + sum(
+                quality.sample_latency(message.size_bytes, self._rng)
+                for _ in range(hops)
+            )
+            self.simulator.schedule(
+                latency,
+                lambda: self._arrive(message),
+                description=f"deliver {message.describe()}",
+            )
+
+    def install_faults(self, injector: Any) -> None:
+        """Install a chaos message-fault injector on the send path."""
+        self.faults = injector
 
     def broadcast(
         self, sender: str, recipients: list[str], kind: MessageKind, payload_for: Callable[[str], object],

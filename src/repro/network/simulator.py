@@ -87,6 +87,13 @@ class Simulator:
         return self._now
 
     @property
+    def epoch(self) -> int:
+        """Reset generation counter.  Incremented by :meth:`reset`;
+        one-shot timers that must not survive a reset can capture it at
+        arm time and compare on fire (the fence :meth:`every` uses)."""
+        return self._epoch
+
+    @property
     def pending(self) -> int:
         """Number of not-yet-fired, not-cancelled events."""
         return sum(1 for event in self._queue if not event.cancelled)

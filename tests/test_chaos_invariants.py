@@ -1,0 +1,223 @@
+"""Tests for the executable property invariants (repro.chaos.invariants)."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.chaos.invariants import (
+    RunRecord,
+    check_crowd_liability,
+    check_no_double_takeover,
+    check_resiliency,
+    check_validity,
+)
+from repro.query.aggregates import AggregateSpec
+from repro.query.groupby import (
+    GroupByQuery,
+    evaluate_group_by,
+    finalize_partials,
+)
+
+QUERY = GroupByQuery(
+    grouping_sets=(("g",),),
+    aggregates=(AggregateSpec("count"), AggregateSpec("avg", "x")),
+)
+
+
+def _result_over(rows):
+    return finalize_partials(QUERY, evaluate_group_by(QUERY, rows))
+
+
+def _record(
+    *,
+    success=True,
+    result_rows=None,
+    reference_rows=None,
+    clean=False,
+    executor=None,
+    failure_events=(),
+    fault_injector=None,
+    network_stats=None,
+    liability=None,
+    exposure=None,
+    tuples_per_device=None,
+    validity_tolerance=0.75,
+):
+    report = SimpleNamespace(
+        success=success,
+        result=_result_over(result_rows) if result_rows is not None else None,
+        kmeans=None,
+        network_stats=network_stats or {},
+        tuples_per_device=tuples_per_device or {},
+    )
+    result = SimpleNamespace(
+        report=report,
+        executor=executor,
+        failure_events=list(failure_events),
+        fault_injector=fault_injector,
+        plan=None,
+        liability=liability,
+        exposure=exposure,
+    )
+    return RunRecord(
+        result=result,
+        reference=(
+            _result_over(reference_rows) if reference_rows is not None else None
+        ),
+        clean=clean,
+        validity_tolerance=validity_tolerance,
+    )
+
+
+ROWS = [{"g": "a", "x": 10.0}, {"g": "a", "x": 20.0}, {"g": "b", "x": 30.0}]
+
+
+class TestResiliency:
+    def test_successful_run_passes(self):
+        record = _record(success=True, result_rows=ROWS, clean=True)
+        assert check_resiliency(record) is None
+
+    def test_clean_failure_is_a_violation(self):
+        record = _record(success=False, clean=True)
+        violation = check_resiliency(record)
+        assert violation is not None
+        assert violation.invariant == "resiliency"
+
+    def test_lossy_failure_is_graceful(self):
+        record = _record(
+            success=False, clean=False, network_stats={"lost": 3}
+        )
+        assert check_resiliency(record) is None
+
+    def test_success_without_result_is_a_violation(self):
+        record = _record(success=True, result_rows=None, clean=False)
+        violation = check_resiliency(record)
+        assert violation is not None
+
+
+class TestValidity:
+    def test_matching_results_pass(self):
+        record = _record(result_rows=ROWS, reference_rows=ROWS, clean=True)
+        assert check_validity(record) is None
+
+    def test_clean_mismatch_is_a_violation(self):
+        skewed = [dict(row, x=row["x"] * 2) for row in ROWS]
+        record = _record(result_rows=skewed, reference_rows=ROWS, clean=True)
+        violation = check_validity(record)
+        assert violation is not None
+        assert violation.invariant == "validity"
+
+    def test_faulty_run_within_bound_passes(self):
+        # 25% error on avg_x, under the 0.75 bound
+        skewed = [dict(row, x=row["x"] * 1.25) for row in ROWS]
+        record = _record(result_rows=skewed, reference_rows=ROWS, clean=False)
+        assert check_validity(record) is None
+
+    def test_faulty_run_beyond_bound_is_a_violation(self):
+        skewed = [dict(row, x=row["x"] * 10) for row in ROWS]
+        record = _record(result_rows=skewed, reference_rows=ROWS, clean=False)
+        violation = check_validity(record)
+        assert violation is not None
+        assert "approximation bound" in violation.detail
+
+    def test_missing_group_is_graceful_when_dirty(self):
+        # a whole group lost to failures: fewer rows, no violation
+        record = _record(
+            result_rows=ROWS[:2], reference_rows=ROWS, clean=False
+        )
+        assert check_validity(record) is None
+
+    def test_failed_run_skipped(self):
+        record = _record(success=False, reference_rows=ROWS)
+        assert check_validity(record) is None
+
+
+class TestCrowdLiability:
+    def _liability(self, max_share, per_device=None):
+        return SimpleNamespace(
+            max_share=max_share,
+            operators_per_device=per_device or {},
+            is_crowd_liable=lambda cap: max_share <= cap,
+            summary=lambda: f"max share {max_share:.0%}",
+        )
+
+    def _exposure(self, cap):
+        return SimpleNamespace(max_raw_tuples_per_edgelet=cap)
+
+    def test_spread_assignment_passes(self):
+        record = _record(
+            result_rows=ROWS,
+            liability=self._liability(0.10, {"d1": 1}),
+            exposure=self._exposure(10),
+            tuples_per_device={"d1": 8},
+        )
+        assert check_crowd_liability(record) is None
+
+    def test_concentrated_assignment_is_a_violation(self):
+        record = _record(
+            result_rows=ROWS,
+            liability=self._liability(0.80),
+            exposure=self._exposure(10),
+        )
+        violation = check_crowd_liability(record)
+        assert violation is not None
+        assert violation.invariant == "crowd_liability"
+
+    def test_over_exposed_device_is_a_violation(self):
+        record = _record(
+            result_rows=ROWS,
+            liability=self._liability(0.10, {"d1": 2}),
+            exposure=self._exposure(10),
+            tuples_per_device={"d1": 25},  # cap is 2 ops x 10
+        )
+        violation = check_crowd_liability(record)
+        assert violation is not None
+        assert "d1" in violation.detail
+
+
+class TestNoDoubleTakeover:
+    def test_unique_takeovers_pass(self):
+        executor = SimpleNamespace(
+            takeover_log=[(20.0, "builder[0]", 1), (25.0, "builder[1]", 1)]
+        )
+        record = _record(result_rows=ROWS, executor=executor)
+        assert check_no_double_takeover(record) is None
+
+    def test_duplicate_rank_is_a_violation(self):
+        executor = SimpleNamespace(
+            takeover_log=[(20.0, "builder[0]", 1), (21.0, "builder[0]", 1)]
+        )
+        record = _record(result_rows=ROWS, executor=executor)
+        violation = check_no_double_takeover(record)
+        assert violation is not None
+        assert violation.invariant == "no_double_takeover"
+
+    def test_no_executor_passes(self):
+        record = _record(result_rows=ROWS, executor=None)
+        assert check_no_double_takeover(record) is None
+
+
+class TestOnRealRuns:
+    """Invariants over actual scenario executions (both strategies)."""
+
+    def test_benign_runs_hold_every_invariant(self):
+        from repro.chaos.campaign import RunSpec, run_single
+
+        for strategy in ("overcollection", "backup"):
+            outcome = run_single(
+                RunSpec(seed=3, tag=f"inv-{strategy}", strategy=strategy)
+            )
+            assert outcome.result.report.success
+            assert outcome.violations == []
+
+    def test_combiner_dedup_checked_on_real_partials(self):
+        from repro.chaos.campaign import RunSpec, run_single
+        from repro.chaos.invariants import check_combiner_dedup
+
+        outcome = run_single(RunSpec(seed=4, tag="inv-dedup"))
+        executor = outcome.result.executor
+        assert any(
+            runtime.partials for runtime in executor._combiners.values()
+        )
+        record = RunRecord(result=outcome.result, reference=outcome.reference)
+        assert check_combiner_dedup(record) is None

@@ -1,0 +1,212 @@
+"""Property tests for the distributive aggregate layer.
+
+Overcollection is only sound if partial states behave like elements of
+a commutative monoid: the Combiner receives partitions in an arbitrary
+order (opportunistic routing reorders freely) and — when markers are
+lost — possibly more than once.  These tests drive
+:mod:`repro.query.aggregates` and :mod:`repro.query.groupby` with many
+seeded random datasets (stdlib ``random``, fully deterministic) and
+assert:
+
+* partition-order insensitivity — any partitioning, merged in any
+  permutation, finalizes to the one-pass value;
+* duplicate insensitivity where the algebra promises it (``min``,
+  ``max``, ``distinct`` are idempotent under re-merge);
+* grouped merges (:func:`merge_partials`) are shuffle-invariant and
+  match the centralized evaluation row for row.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.query.aggregates import (
+    AggregateSpec,
+    finalize_state,
+    make_state,
+    merge_states,
+)
+from repro.query.expressions import ColumnRef, CompareExpr, Literal
+from repro.query.groupby import (
+    GroupByQuery,
+    evaluate_group_by,
+    finalize_partials,
+    merge_partials,
+)
+
+SEEDS = range(12)
+
+#: Specs covering every supported function (hist needs grid params).
+ALL_SPECS = (
+    AggregateSpec("count"),
+    AggregateSpec("count", "x", alias="count_x"),
+    AggregateSpec("sum", "x"),
+    AggregateSpec("min", "x"),
+    AggregateSpec("max", "x"),
+    AggregateSpec("avg", "x"),
+    AggregateSpec("var", "x"),
+    AggregateSpec("std", "x"),
+    AggregateSpec("distinct", "label"),
+    AggregateSpec("hist", "x", params=(-100.0, 100.0, 8)),
+)
+
+#: Finalized values that are floating-point and merge-order sensitive
+#: at the round-off level only.
+FLOAT_FUNCTIONS = {"sum", "avg", "var", "std"}
+
+
+def _random_rows(rng: random.Random, n: int) -> list[dict]:
+    rows = []
+    for _ in range(n):
+        rows.append(
+            {
+                "x": (
+                    None
+                    if rng.random() < 0.1
+                    else rng.uniform(-90.0, 90.0)
+                ),
+                "label": rng.choice("abcdefgh"),
+                "g": rng.choice(("north", "south", "east")),
+            }
+        )
+    return rows
+
+
+def _random_partition(rng: random.Random, rows: list[dict]) -> list[list[dict]]:
+    """Split rows into 1..6 chunks of random (possibly zero) size."""
+    n_parts = rng.randint(1, 6)
+    parts: list[list[dict]] = [[] for _ in range(n_parts)]
+    for row in rows:
+        parts[rng.randrange(n_parts)].append(row)
+    return parts
+
+
+def _assert_same_value(spec: AggregateSpec, expected, actual) -> None:
+    if expected is None or actual is None:
+        assert expected == actual
+    elif spec.function in FLOAT_FUNCTIONS:
+        assert actual == pytest.approx(expected, rel=1e-9, abs=1e-9)
+    else:
+        assert actual == expected
+
+
+class TestPartitionOrderInsensitivity:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.output_name)
+    def test_any_partitioning_any_merge_order(self, spec):
+        for seed in SEEDS:
+            rng = random.Random(seed)
+            rows = _random_rows(rng, rng.randint(0, 60))
+            expected = finalize_state(spec, make_state(spec, rows))
+            parts = _random_partition(rng, rows)
+            states = [make_state(spec, part) for part in parts]
+            rng.shuffle(states)
+            actual = finalize_state(spec, merge_states(states))
+            _assert_same_value(spec, expected, actual)
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.output_name)
+    def test_merge_is_commutative_pairwise(self, spec):
+        for seed in SEEDS:
+            rng = random.Random(100 + seed)
+            left = make_state(spec, _random_rows(rng, rng.randint(1, 30)))
+            right = make_state(spec, _random_rows(rng, rng.randint(1, 30)))
+            ab = finalize_state(spec, left.merge(right))
+            ba = finalize_state(spec, right.merge(left))
+            _assert_same_value(spec, ab, ba)
+
+
+class TestDuplicateInsensitivity:
+    """min / max / distinct are idempotent: receiving the same partial
+    twice (lost marker, duplicated message) cannot move the result."""
+
+    @pytest.mark.parametrize("function", ("min", "max"))
+    def test_min_max_self_merge_is_identity(self, function):
+        spec = AggregateSpec(function, "x")
+        for seed in SEEDS:
+            rng = random.Random(200 + seed)
+            state = make_state(spec, _random_rows(rng, rng.randint(1, 40)))
+            doubled = state.merge(state)
+            assert finalize_state(spec, doubled) == finalize_state(spec, state)
+
+    def test_distinct_self_merge_is_identity(self):
+        spec = AggregateSpec("distinct", "label")
+        for seed in SEEDS:
+            rng = random.Random(300 + seed)
+            state = make_state(spec, _random_rows(rng, rng.randint(1, 40)))
+            doubled = state.merge(state)
+            assert doubled.registers == state.registers
+            assert finalize_state(spec, doubled) == finalize_state(spec, state)
+
+    def test_distinct_ignores_cross_partition_duplicates(self):
+        spec = AggregateSpec("distinct", "label")
+        rows = [{"label": value} for value in "abcd" * 10]
+        whole = finalize_state(spec, make_state(spec, rows))
+        # every partition sees every value: merged estimate is unchanged
+        state = merge_states(
+            [make_state(spec, rows[i::4]) for i in range(4)]
+        )
+        assert finalize_state(spec, state) == whole
+
+
+class TestGroupedMergeProperties:
+    def _query(self) -> GroupByQuery:
+        return GroupByQuery(
+            grouping_sets=(("g",), ()),
+            aggregates=(
+                AggregateSpec("count"),
+                AggregateSpec("avg", "x"),
+                AggregateSpec("min", "x"),
+                AggregateSpec("distinct", "label"),
+            ),
+            where=CompareExpr(">", ColumnRef("x"), Literal(-50.0)),
+        )
+
+    def _rows_by_key(self, result) -> dict:
+        keyed = {}
+        for set_index, rows in enumerate(result.per_set_rows):
+            for row in rows:
+                keyed[(set_index, row.get("g"))] = row
+        return keyed
+
+    def test_merge_partials_shuffle_invariant(self):
+        query = self._query()
+        for seed in SEEDS:
+            rng = random.Random(400 + seed)
+            rows = _random_rows(rng, rng.randint(0, 80))
+            expected = self._rows_by_key(
+                finalize_partials(query, evaluate_group_by(query, rows))
+            )
+            partials = [
+                evaluate_group_by(query, part)
+                for part in _random_partition(rng, rows)
+            ]
+            rng.shuffle(partials)
+            merged = self._rows_by_key(
+                finalize_partials(query, merge_partials(query, partials))
+            )
+            assert set(merged) == set(expected)
+            for key, row in merged.items():
+                reference = expected[key]
+                assert set(row) == set(reference)
+                for name, value in row.items():
+                    if isinstance(value, float):
+                        assert value == pytest.approx(
+                            reference[name], rel=1e-9, abs=1e-9
+                        )
+                    else:
+                        assert value == reference[name]
+
+    def test_merge_partials_leaves_inputs_unchanged(self):
+        """Merging must not alias the input states (the Combiner keeps
+        partials around for dedup re-checks)."""
+        query = self._query()
+        rng = random.Random(999)
+        rows = _random_rows(rng, 40)
+        partials = [
+            evaluate_group_by(query, part)
+            for part in _random_partition(rng, rows)
+        ]
+        snapshots = [partial.to_dict() for partial in partials]
+        merge_partials(query, partials)
+        assert [partial.to_dict() for partial in partials] == snapshots
