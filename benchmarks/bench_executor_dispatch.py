@@ -1,0 +1,136 @@
+"""EXEC-DISPATCH — executor message-dispatch overhead and scenario latency.
+
+Guards the runtime refactor: the per-role decomposition must not make
+message handling measurably slower.  Two measurements:
+
+* **per-message dispatch** — a scripted stream of ``PARTIAL_RESULT``
+  messages pushed straight into the combiner device's network handler
+  (unwrap -> route -> combiner recording), reported as µs/message;
+* **end-to-end latency** — wall-clock of one full 200-contributor
+  aggregate scenario (plan, assign, execute, verify-ready report).
+
+Recorded before and after the per-role runtime refactor in
+``RESULTS.txt`` (section EXEC-DISPATCH).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _scenarios import aggregate_spec, fast_scenario_config, run_once
+from _tables import print_table
+
+from repro.manager.scenario import Scenario
+from repro.network.messages import Message, MessageKind
+from repro.query.groupby import GroupByQuery, evaluate_group_by
+from repro.telemetry import Telemetry, null_telemetry
+
+
+def _scripted_dispatch_setup():
+    """Run one scenario, then script messages at its combiner handler.
+
+    Returns ``(handler, make_messages)`` where ``make_messages(n)``
+    builds ``n`` partial-result messages cycling over the plan's
+    partition indices; recording is idempotent, so every message still
+    pays the full unwrap -> route -> payload-decode path.
+    """
+    config = fast_scenario_config(n_contributors=40, n_rows=80, seed=11)
+    telemetry = null_telemetry()
+    scenario = Scenario(config, telemetry=telemetry)
+    network = scenario.network
+    handlers: dict[str, object] = {}
+    original_attach = network.attach
+
+    def capturing_attach(device_id, handler):
+        handlers[device_id] = handler
+        original_attach(device_id, handler)
+
+    network.attach = capturing_attach  # type: ignore[method-assign]
+    spec = aggregate_spec("dispatch-probe", cardinality=80)
+    from repro.core.planner import PrivacyParameters, ResiliencyParameters
+
+    result = scenario.run_query(
+        spec,
+        privacy=PrivacyParameters(max_raw_per_edgelet=50),
+        resiliency=ResiliencyParameters(fault_rate=0.1),
+    )
+    assert result.report.success
+    combiner_device = result.plan.operator("combiner").assigned_to
+    handler = handlers[combiner_device]
+
+    query = GroupByQuery.from_dict(result.plan.metadata["group_by"])
+    sample_rows = config.rows[:32]
+    partial = evaluate_group_by(query, sample_rows).to_dict()
+    total_partitions = result.plan.metadata["overcollection"]["n"] + (
+        result.plan.metadata["overcollection"]["m"]
+    )
+
+    def make_messages(n: int) -> list[Message]:
+        return [
+            Message(
+                sender="bench-driver",
+                recipient=combiner_device,
+                kind=MessageKind.PARTIAL_RESULT,
+                payload={
+                    "__aggregate__": True,
+                    "op_id": "combiner",
+                    "partition_index": index % total_partitions,
+                    "group_index": 0,
+                    "partial": partial,
+                },
+            )
+            for index in range(n)
+        ]
+
+    return handler, make_messages
+
+
+def test_per_message_dispatch_overhead(benchmark):
+    """µs per message through unwrap -> dispatch -> combiner record."""
+    handler, make_messages = _scripted_dispatch_setup()
+    batch_size = 500
+
+    def drive():
+        for message in make_messages(batch_size):
+            handler(message)
+
+    warmup = make_messages(50)
+    for message in warmup:
+        handler(message)
+    start = time.perf_counter()
+    for message in make_messages(2000):
+        handler(message)
+    elapsed = time.perf_counter() - start
+    print_table(
+        "EXEC-DISPATCH: per-message dispatch overhead",
+        ["messages", "total (s)", "per message (µs)"],
+        [[2000, elapsed, 1e6 * elapsed / 2000]],
+    )
+    benchmark.pedantic(drive, rounds=5, iterations=1)
+
+
+def test_end_to_end_scenario_latency(benchmark):
+    """Wall-clock of one full aggregate scenario execution."""
+
+    def execute():
+        config = fast_scenario_config(n_contributors=200, n_rows=400, seed=4)
+        result = run_once(
+            config, aggregate_spec("dispatch-e2e", 300),
+            max_raw=100, telemetry=Telemetry(),
+        )
+        assert result.report.success
+        return result
+
+    start = time.perf_counter()
+    execute()
+    elapsed = time.perf_counter() - start
+    print_table(
+        "EXEC-DISPATCH: end-to-end scenario latency (200 contributors)",
+        ["metric", "value"],
+        [["wall-clock (s)", elapsed]],
+    )
+    benchmark.pedantic(execute, rounds=3, iterations=1)

@@ -240,17 +240,17 @@ def check_combiner_dedup(record: RunRecord) -> Violation | None:
         return None
     if executor.query is None:
         return None
-    from repro.core.execution import _CombinerRuntime
+    from repro.core.runtime import CombinerState
 
-    indices = executor._aggregate_indices_per_group
-    for name, runtime in executor._combiners.items():
+    indices = executor.aggregate_indices_per_group
+    for name, runtime in executor.combiners.items():
         if not runtime.partials:
             continue
-        once = _CombinerRuntime(
+        once = CombinerState(
             name, runtime.config, runtime.n_groups, executor.query,
             runtime.extrapolate,
         )
-        twice = _CombinerRuntime(
+        twice = CombinerState(
             name, runtime.config, runtime.n_groups, executor.query,
             runtime.extrapolate,
         )

@@ -16,7 +16,10 @@ Plans are Query Execution Plans (:mod:`repro.core.qep`) produced by the
 privacy- and resiliency-aware planner (:mod:`repro.core.planner`),
 assigned to concrete edgelets by hashing public keys
 (:mod:`repro.core.assignment`), and executed over the opportunistic
-network by :mod:`repro.core.execution`.
+network by the per-role runtimes of :mod:`repro.core.runtime`
+(coordinated by :class:`repro.core.runtime.ExecutionCoordinator`; the
+legacy :mod:`repro.core.execution` module remains as a deprecated
+shim).
 """
 
 from repro.core.advisor import QueryProperties, StrategyRecommendation, recommend_strategy
@@ -41,14 +44,24 @@ from repro.core.privacy import ExposureReport, measure_exposure
 from repro.core.liability import LiabilityReport, gini_coefficient, measure_liability
 from repro.core.validity import ValidityReport, compare_results
 from repro.core.backup import BackupConfig, BackupChain
+from repro.core.runtime import (
+    BackupStrategy,
+    ExecutionCoordinator,
+    ExecutionReport,
+    OvercollectionStrategy,
+    StrategyRuntime,
+    infer_strategy,
+)
 from repro.core.backup_execution import BackupExecutor
-from repro.core.execution import EdgeletExecutor, ExecutionReport
+from repro.core.execution import EdgeletExecutor
 
 __all__ = [
     "BackupChain",
     "BackupConfig",
     "BackupExecutor",
+    "BackupStrategy",
     "EdgeletExecutor",
+    "ExecutionCoordinator",
     "EnergyModel",
     "EdgeletPlanner",
     "ExecutionReport",
@@ -58,6 +71,7 @@ __all__ = [
     "QueryProperties",
     "OperatorRole",
     "OvercollectionConfig",
+    "OvercollectionStrategy",
     "PlanningError",
     "PrivacyParameters",
     "QueryExecutionPlan",
@@ -66,6 +80,7 @@ __all__ = [
     "ResiliencyParameters",
     "SecureAssignment",
     "StrategyRecommendation",
+    "StrategyRuntime",
     "ValidityReport",
     "assign_operators",
     "check_representative",
@@ -73,6 +88,7 @@ __all__ = [
     "contributor_builder",
     "estimate_plan_cost",
     "gini_coefficient",
+    "infer_strategy",
     "measure_exposure",
     "measure_execution_cost",
     "measure_liability",

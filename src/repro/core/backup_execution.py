@@ -1,309 +1,82 @@
-"""Runtime execution of the Backup strategy.
+"""Deprecated: the ``BackupExecutor`` subclass, now a thin shim.
 
-Backup plans (``ResiliencyParameters(strategy="backup")``) carry, for
-every Snapshot Builder and Computer, an ordered chain of passive
-replicas that hold the same inputs (contributors and builders send to
-every rank).  At runtime:
+The Backup strategy's replica chains, takeover timers, and
+shipped-marker handling live in
+:class:`repro.core.runtime.strategy.BackupStrategy`, a policy object
+plugged into the :class:`repro.core.runtime.ExecutionCoordinator`
+rather than an executor subclass overriding private methods.  New code
+should construct the coordinator (the strategy is inferred from
+backup-planned aggregate metadata)::
 
-* the **primary** (rank 0) executes on schedule and broadcasts a small
-  *shipped* control message to its sibling replicas;
-* each **replica** arms a takeover timer at
-  ``rank * takeover_timeout`` past the primary's firing point; when the
-  timer fires, the replica executes from its own copy of the input —
-  unless it heard a *shipped* marker from a lower rank;
-* duplicates are possible when the marker itself is lost (the network
-  is uncertain); consumers deduplicate — Computers keep the first
-  partition they receive, the Combiner's partial recording is
-  idempotent per (partition, group) cell.
+    from repro.core.runtime import ExecutionCoordinator
 
-This trades latency (sequential timeouts) for applicability: unlike
-Overcollection it does not require distributive operators, matching the
-paper's taxonomy ("the Backup strategy can be used at the price of a
-higher complexity and lower performance").
+    report = ExecutionCoordinator(
+        sim, net, devices, plan, takeover_timeout=5.0
+    ).run()
+
+This module keeps the historical entrypoint importable:
+:class:`BackupExecutor` is the coordinator pinned to
+:class:`BackupStrategy` with the given ``takeover_timeout``.
+Constructing the shim emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import warnings
 
-from repro.core.backup import BackupChain, BackupConfig
-from repro.core.execution import EdgeletExecutor, ExecutionError
-from repro.core.qep import Operator, OperatorRole
-from repro.crypto.merkle import MerkleTree
-from repro.devices.edgelet import Edgelet
-from repro.network.messages import MessageKind
-from repro.query.groupby import GroupByQuery, evaluate_group_by
+from repro.core.runtime.coordinator import ExecutionCoordinator
+from repro.core.runtime.strategy import BackupStrategy, base_op_id, rank_of
 
 __all__ = ["BackupExecutor"]
 
-
-def _base_id(op_id: str) -> str:
-    """Strip the ``.bN`` replica suffix: ``builder[2].b1`` -> ``builder[2]``."""
-    return op_id.split(".b")[0]
-
-
-def _rank_of(operator: Operator) -> int:
-    return operator.params.get("backup_rank", 0)
+# Historical private helpers, re-exported for older scripts.
+_base_id = base_op_id
+_rank_of = rank_of
 
 
-class BackupExecutor(EdgeletExecutor):
-    """Executes a Backup-strategy plan with live takeovers.
+class BackupExecutor(ExecutionCoordinator):
+    """Deprecated alias for the coordinator with the Backup strategy.
 
-    Accepts the same arguments as :class:`EdgeletExecutor` plus the
-    ``takeover_timeout`` used by the replica chains.  Only aggregate
-    queries are supported (the demo's non-distributive path).
+    Accepts the same arguments as :class:`ExecutionCoordinator` plus
+    the ``takeover_timeout`` used by the replica chains.  Only
+    aggregate queries are supported (the demo's non-distributive path);
+    a non-backup plan or a K-Means plan raises
+    :class:`repro.core.runtime.report.ExecutionError`, exactly like the
+    legacy subclass.
     """
 
     def __init__(self, *args, takeover_timeout: float = 5.0, **kwargs):
-        self._takeover_timeout = takeover_timeout
+        warnings.warn(
+            "BackupExecutor is deprecated; use "
+            "repro.core.runtime.ExecutionCoordinator with BackupStrategy",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        kwargs["strategy"] = BackupStrategy(takeover_timeout=takeover_timeout)
         super().__init__(*args, **kwargs)
-        if self.plan.metadata.get("strategy") != "backup":
-            raise ExecutionError("BackupExecutor requires a backup-strategy plan")
-        if self.kind != "aggregate":
-            raise ExecutionError(
-                "BackupExecutor supports aggregate queries (use the "
-                "heartbeat-based Overcollection executor for iterative ML)"
-            )
-        self._index_replicas()
 
-    # -- additional indexing ------------------------------------------------
+    # Legacy private aliases kept for external scripts.
 
-    def _index_replicas(self) -> None:
-        replicas = self.plan.metadata.get("backup_replicas", 0)
-        config = BackupConfig(
-            replicas=replicas, takeover_timeout=self._takeover_timeout
-        )
-        self.chains: dict[str, BackupChain] = {}
-        self._ops_by_base: dict[str, list[Operator]] = {}
-        for operator in self.plan.operators():
-            if operator.role not in (
-                OperatorRole.SNAPSHOT_BUILDER, OperatorRole.COMPUTER
-            ):
-                continue
-            base = _base_id(operator.op_id)
-            self._ops_by_base.setdefault(base, []).append(operator)
-            chain = self.chains.get(base)
-            if chain is None:
-                chain = BackupChain(base, config)
-                self.chains[base] = chain
-            chain.register(_rank_of(operator), operator.assigned_to or "")
-        for ops in self._ops_by_base.values():
-            ops.sort(key=_rank_of)
-        # per-op input storage (each replica holds its own copy)
-        self._rows_by_op: dict[str, list[dict[str, Any]]] = {
-            op.op_id: []
-            for ops in self._ops_by_base.values()
-            for op in ops
-        }
-        # bases for which this run already heard a "shipped" marker, and
-        # at which rank (device-local state is approximated run-globally
-        # per base+listening-device pair)
-        self._shipped_heard: dict[str, set[str]] = {}
-        self.takeover_log: list[tuple[float, str, int]] = []
-        self._m_takeovers = self.telemetry.metrics.counter(
-            "exec.backup_takeovers", query=self.plan.query_id
-        )
+    @property
+    def _takeover_timeout(self) -> float:
+        return self.strategy.takeover_timeout
 
-    # -- collection --------------------------------------------------------------
+    @property
+    def _rows_by_op(self):
+        return self.strategy.rows_by_op
 
-    def _on_contribution(self, device: Edgelet, payload: dict[str, Any]) -> None:
-        if self.simulator.now > self.collect_end:
-            return
-        op_id = payload.get("op_id", "")
-        if self._is_duplicate_contribution(op_id, payload):
-            return
-        bucket = self._rows_by_op.get(op_id)
-        if bucket is None:
-            return
-        cap = self.config.partition_cardinality
-        room = cap - len(bucket)
-        if room <= 0:
-            return
-        accepted = payload["rows"][:room]
-        bucket.extend(accepted)
-        self._count_tuples(device.device_id, len(accepted))
+    @property
+    def _shipped_heard(self):
+        return self.strategy.shipped_heard
+
+    def _attach_handlers(self) -> None:
+        self.attach_handlers()
+
+    def _schedule_contributions(self) -> None:
+        self.contributor.schedule_contributions()
 
     def _end_collection(self) -> None:
-        """Arm the whole builder chain: primary now, replicas staggered."""
-        for base, ops in sorted(self._ops_by_base.items()):
-            if ops[0].role != OperatorRole.SNAPSHOT_BUILDER:
-                continue
-            for operator in ops:
-                rank = _rank_of(operator)
-                delay = rank * self._takeover_timeout
-                self.simulator.schedule(
-                    delay,
-                    self._make_builder_fire(base, operator),
-                    f"{operator.op_id} (rank {rank}) builder fire",
-                )
+        self.end_collection()
 
-    def _make_builder_fire(self, base: str, operator: Operator):
-        # fence against Simulator.reset(): a timer armed on the previous
-        # timeline must never execute on the new one, even if the fire
-        # closure leaks out of the cancelled event queue
-        epoch = self.simulator.epoch
-
-        def fire() -> None:
-            if self.simulator.epoch != epoch:
-                return
-            device = self._device_of(operator)
-            rank = _rank_of(operator)
-            if rank > 0:
-                if device.device_id in self._shipped_heard.get(base, set()):
-                    return  # a lower rank already shipped; stand down
-                self.takeover_log.append((self.simulator.now, base, rank))
-                self._trace(f"{operator.op_id} takes over {base}")
-                self._m_takeovers.inc()
-            if not self.network.is_online(device.device_id):
-                self._trace(f"{operator.op_id} offline, cannot ship {base}")
-                return
-            rows = self._rows_by_op.get(operator.op_id, [])
-            cap = self.config.partition_cardinality
-            rows = rows[:cap]
-            if not rows:
-                self._trace(f"{operator.op_id} collected no rows")
-                return
-            commitment = MerkleTree(
-                [repr(sorted(row.items())).encode("utf-8") for row in rows]
-            ).root_hex()
-            self._trace(
-                f"{operator.op_id} snapshot frozen: {len(rows)} rows, "
-                f"merkle={commitment[:12]}…"
-            )
-            self._mark_collection_end()
-            self._m_snapshots.inc()
-            self._ship_partition(operator, device, rows, commitment)
-            self._announce_shipped(base, operator, device)
-        return fire
-
-    def _ship_partition(self, operator, device, rows, commitment) -> None:
-        partition_index = operator.params["partition_index"]
-        for consumer in self.plan.consumers_of(operator.op_id):
-            if consumer.role != OperatorRole.COMPUTER:
-                continue
-            group = consumer.params.get("column_group") or self.collected_columns
-            projected = [
-                {column: row.get(column) for column in group} for row in rows
-            ]
-            target = self._device_of(consumer)
-            self._ship(
-                device,
-                target,
-                MessageKind.PARTITION,
-                {
-                    "op_id": consumer.op_id,
-                    "partition_index": partition_index,
-                    "group_index": consumer.params.get("group_index", 0),
-                    "commitment": commitment,
-                    "rows": projected,
-                },
-                size_hint=64 * len(projected),
-            )
-
-    def _announce_shipped(self, base: str, operator: Operator, device) -> None:
-        """Tell the sibling replicas their takeover is unnecessary."""
-        for sibling in self._ops_by_base.get(base, []):
-            if sibling.op_id == operator.op_id:
-                continue
-            target = self._device_of(sibling)
-            self._ship(
-                device, target, MessageKind.CONTROL,
-                {"shipped": base, "rank": _rank_of(operator),
-                 "op_id": sibling.op_id},
-                size_hint=64,
-            )
-
-    # -- computation -------------------------------------------------------------
-
-    def _on_partition(self, device: Edgelet, payload: dict[str, Any]) -> None:
-        op_id = payload.get("op_id", "")
-        base = _base_id(op_id)
-        operator = None
-        for candidate in self._ops_by_base.get(base, []):
-            if candidate.op_id == op_id:
-                operator = candidate
-                break
-        if operator is None:
-            return
-        bucket = self._rows_by_op.get(op_id)
-        if bucket is None or bucket:
-            return  # first partition wins; duplicates dropped
-        rows = payload["rows"]
-        bucket.extend(rows)
-        self._count_tuples(device.device_id, len(rows))
-        rank = _rank_of(operator)
-        if rank == 0:
-            self._fire_computer(base, operator, device)
-        else:
-            self.simulator.schedule(
-                rank * self._takeover_timeout,
-                self._make_computer_takeover(base, operator),
-                f"{op_id} (rank {rank}) computer takeover",
-            )
-
-    def _make_computer_takeover(self, base: str, operator: Operator):
-        epoch = self.simulator.epoch
-
-        def fire() -> None:
-            if self.simulator.epoch != epoch:
-                return
-            device = self._device_of(operator)
-            if device.device_id in self._shipped_heard.get(base, set()):
-                return
-            self.takeover_log.append(
-                (self.simulator.now, base, _rank_of(operator))
-            )
-            self._trace(f"{operator.op_id} takes over {base}")
-            self._m_takeovers.inc()
-            self._fire_computer(base, operator, device)
-        return fire
-
-    def _fire_computer(self, base: str, operator: Operator, device) -> None:
-        if not self.network.is_online(device.device_id):
-            self._mark_computation_start()
-            self._trace(f"{operator.op_id} offline, partial lost")
-            return
-        rows = self._rows_by_op.get(operator.op_id, [])
-        indices = operator.params.get("aggregate_indices") or list(
-            range(len(self.query.aggregates))
-        )
-        sub_query = GroupByQuery(
-            grouping_sets=self.query.grouping_sets,
-            aggregates=tuple(self.query.aggregates[i] for i in indices),
-        )
-        with self._prof_aggregate:
-            partial = evaluate_group_by(sub_query, rows)
-        payload = {
-            "__aggregate__": True,
-            "partition_index": operator.params["partition_index"],
-            "group_index": operator.params.get("group_index", 0),
-            "partial": partial.to_dict(),
-        }
-        latency = device.compute_latency(float(max(len(rows), 1)))
-
-        def send() -> None:
-            self._mark_computation_start()
-            if not self.network.is_online(device.device_id):
-                self._trace(f"{operator.op_id} offline, partial lost")
-                return
-            self._trace(f"{operator.op_id} partial result computed and sent")
-            for name in ("combiner", "combiner-backup"):
-                combiner_op = self.plan.operator(name)
-                target = self._device_of(combiner_op)
-                self._ship(
-                    device, target, MessageKind.PARTIAL_RESULT,
-                    dict(payload, op_id=name), size_hint=512,
-                )
-            self._announce_shipped(base, operator, device)
-
-        self.simulator.schedule(latency, send, f"{operator.op_id} partial")
-
-    # -- control -----------------------------------------------------------------
-
-    def _dispatch(self, device: Edgelet, kind: MessageKind, payload: Any) -> None:
-        if kind == MessageKind.CONTROL and isinstance(payload, dict):
-            base = payload.get("shipped")
-            if base is not None:
-                self._shipped_heard.setdefault(base, set()).add(device.device_id)
-            return
-        super()._dispatch(device, kind, payload)
+    def _make_builder_fire(self, base, operator):
+        return self.strategy._make_builder_fire(base, operator)

@@ -1,1197 +1,84 @@
-"""Distributed execution of Edgelet plans over the opportunistic network.
+"""Deprecated: the ``EdgeletExecutor`` monolith, now a thin shim.
 
-This module drives a :class:`~repro.core.qep.QueryExecutionPlan` on a
-swarm of :class:`~repro.devices.edgelet.Edgelet` devices connected by an
-:class:`~repro.network.opnet.OpportunisticNetwork`, on the virtual clock
-of a :class:`~repro.network.simulator.Simulator`.  It realizes the three
-phases the demonstration walks through:
+The execution engine lives in :mod:`repro.core.runtime`: one small
+runtime per operator role (contributor, builder, computer, combiner,
+querier), a pluggable resiliency strategy
+(:class:`~repro.core.runtime.strategy.OvercollectionStrategy` /
+:class:`~repro.core.runtime.strategy.BackupStrategy`), and a thin
+:class:`~repro.core.runtime.ExecutionCoordinator` that owns routing,
+dedup, and the phase timers.  New code should construct the
+coordinator directly::
 
-1. **Collection** — Data Contributors filter/project their own rows and
-   send them (sealed) to their hash-assigned Snapshot Builder; builders
-   cap their partition at ``C / n`` representative tuples and commit to
-   it with a Merkle root.
-2. **Computation** — builders ship column-group projections of their
-   partition to the Computers; aggregate Computers fold partial states
-   immediately, K-Means Computers run the heartbeat-cadenced
-   local-convergence / synchronization loop of Section 2.2.
-3. **Combination** — the Computing Combiner (and its Active Backup,
-   running the identical logic in parallel) tallies partitions, merges
-   partial states at the deadline, extrapolates counts for lost
-   partitions, and delivers the final result to the Querier.
+    from repro.core.runtime import ExecutionCoordinator
 
-Every step tolerates loss: missing messages shrink the tally, never
-block progress.
+    report = ExecutionCoordinator(sim, net, devices, plan).run()
+
+This module keeps the historical entrypoint importable:
+:class:`EdgeletExecutor` is the coordinator pinned to the
+Overcollection strategy (matching its legacy behaviour of running
+overcollection mechanics regardless of the plan's declared strategy),
+and the result records re-export from :mod:`repro.core.runtime.report`.
+Constructing the shim emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Any
+import warnings
 
-import numpy as np
-
-from repro.core.overcollection import OvercollectionConfig, PartitionTally
-from repro.core.qep import Operator, OperatorRole, QueryExecutionPlan
-from repro.crypto.merkle import MerkleTree
-from repro.crypto.primitives import AuthenticationError
-from repro.devices.edgelet import Edgelet
-from repro.ml.distributed_kmeans import (
-    CentroidKnowledge,
-    KMeansComputerState,
-    merge_knowledge,
-)
-from repro.network.messages import Message, MessageKind
-from repro.network.opnet import OpportunisticNetwork
-from repro.network.simulator import Simulator
-from repro.query.groupby import (
-    GroupByQuery,
-    GroupingSetsResult,
-    PartialGroups,
-    evaluate_group_by,
-    finalize_partials,
-    merge_partials,
-)
+from repro.core.runtime.combiner import CombinerState, stitch_groups
+from repro.core.runtime.coordinator import ExecutionCoordinator
+from repro.core.runtime.report import ExecutionError, ExecutionReport, KMeansOutcome
+from repro.core.runtime.strategy import OvercollectionStrategy
 
 __all__ = ["EdgeletExecutor", "ExecutionReport", "KMeansOutcome", "ExecutionError"]
 
+# Historical private names, still imported by older analysis scripts.
+_CombinerRuntime = CombinerState
+_stitch_groups = stitch_groups
 
-class ExecutionError(Exception):
-    """Raised on executor misconfiguration (not on runtime faults)."""
 
+class EdgeletExecutor(ExecutionCoordinator):
+    """Deprecated alias for the coordinator with Overcollection pinned.
 
-@dataclass(frozen=True)
-class KMeansOutcome:
-    """Final clustering produced by the Computing Combiner.
-
-    Attributes:
-        centroids: ``(k, d)`` merged centroids.
-        weights: data points backing each centroid.
-        knowledges_merged: how many Computer knowledges reached the
-            combiner before the deadline.
-        cluster_stats: optional Group-By-on-clusters result.
+    Accepts the same arguments as :class:`ExecutionCoordinator` (minus
+    ``strategy``, which is forced to Overcollection to mirror the
+    legacy class).  Prefer the coordinator, which also infers the
+    Backup strategy from backup-planned aggregate metadata.
     """
 
-    centroids: np.ndarray
-    weights: np.ndarray
-    knowledges_merged: int
-    cluster_stats: GroupingSetsResult | None = None
-
-
-@dataclass
-class ExecutionReport:
-    """Everything an experiment wants to know about one execution.
-
-    Attributes:
-        query_id: the executed query.
-        success: whether the Querier received a final result.
-        result: the aggregate result (``aggregate`` kind).
-        kmeans: the clustering outcome (``kmeans`` kind).
-        tally: partition tally summary from the winning combiner.
-        received_partitions: distinct (partition, group) cells received.
-        delivered_by: which combiner delivered first
-            (``"combiner"``/``"combiner-backup"``/``None``).
-        completion_time: virtual time of result delivery.
-        network_stats: counters from the opportunistic network.
-        tuples_per_device: raw tuples handled per processing device.
-        trace: time-ordered human-readable event log (a rendered view;
-            the telemetry spans are the structured source of truth).
-        heartbeats_run: heartbeats executed (kmeans only).
-        convergence_trace: per-heartbeat mean centroid shift across the
-            live Computers (kmeans only) — the "follow the execution in
-            real time" signal the demo GUI plots.
-        telemetry: the :class:`repro.telemetry.Telemetry` this execution
-            recorded into.
-        phase_spans: this execution's phase spans, keyed by phase name
-            (``execution``/``collection``/``computation``/
-            ``combination``); consumed by
-            :func:`repro.manager.trace.phase_timeline`.
-    """
-
-    query_id: str
-    success: bool = False
-    result: GroupingSetsResult | None = None
-    kmeans: KMeansOutcome | None = None
-    tally: dict[str, Any] = field(default_factory=dict)
-    received_partitions: int = 0
-    delivered_by: str | None = None
-    completion_time: float | None = None
-    network_stats: dict[str, float] = field(default_factory=dict)
-    tuples_per_device: dict[str, int] = field(default_factory=dict)
-    trace: list[tuple[float, str]] = field(default_factory=list)
-    heartbeats_run: int = 0
-    convergence_trace: list[tuple[int, float]] = field(default_factory=list)
-    telemetry: Any = None
-    phase_spans: dict[str, Any] = field(default_factory=dict)
-
-
-class _CombinerRuntime:
-    """Shared logic of the Computing Combiner and its Active Backup."""
-
-    def __init__(
-        self,
-        name: str,
-        config: OvercollectionConfig,
-        n_groups: int,
-        query: GroupByQuery | None,
-        extrapolate: bool,
-    ):
-        self.name = name
-        self.config = config
-        self.n_groups = n_groups
-        self.query = query
-        self.extrapolate = extrapolate
-        self.partials: dict[tuple[int, int], PartialGroups] = {}
-        self.knowledges: dict[int, CentroidKnowledge] = {}
-        self.group_tallies = [PartitionTally(config) for _ in range(n_groups)]
-
-    def record_partial(
-        self, partition_index: int, group_index: int, partial: PartialGroups
-    ) -> None:
-        """Accept one aggregate partial result (idempotent per cell)."""
-        key = (partition_index, group_index)
-        if key in self.partials:
-            return
-        self.partials[key] = partial
-        self.group_tallies[group_index].record(partition_index)
-
-    def record_knowledge(self, partition_index: int, knowledge: CentroidKnowledge) -> None:
-        """Accept one K-Means knowledge (last write wins per partition)."""
-        self.knowledges[partition_index] = knowledge
-        self.group_tallies[0].record(partition_index)
-
-    def tally_summary(self) -> dict[str, Any]:
-        """Worst-group tally summary (the binding constraint)."""
-        summaries = [tally.summary() for tally in self.group_tallies]
-        worst = min(summaries, key=lambda s: s["received"])
-        worst["per_group_received"] = [s["received"] for s in summaries]
-        return worst
-
-    def finalize_aggregate(
-        self, aggregate_indices_per_group: list[list[int]]
-    ) -> GroupingSetsResult | None:
-        """Merge, extrapolate, and assemble the final aggregate rows.
-
-        Each vertical group contributes its own aggregates; rows of the
-        same grouping-set key are merged across groups.  Returns
-        ``None`` when some group received zero partitions.
-        """
-        if self.query is None:
-            raise ExecutionError("aggregate finalize without a query")
-        per_group_results: list[GroupingSetsResult] = []
-        for group_index in range(self.n_groups):
-            tally = self.group_tallies[group_index]
-            if tally.received_count == 0:
-                return None
-            group_query = GroupByQuery(
-                grouping_sets=self.query.grouping_sets,
-                aggregates=tuple(
-                    self.query.aggregates[i]
-                    for i in aggregate_indices_per_group[group_index]
-                ),
-            )
-            merged = merge_partials(
-                group_query,
-                (
-                    self.partials[(p, g)]
-                    for (p, g) in sorted(self.partials)
-                    if g == group_index
-                ),
-            )
-            result = finalize_partials(group_query, merged)
-            if self.extrapolate and tally.lost_count > 0:
-                result = result.scaled_counts(tally.scaling_factor())
-            per_group_results.append(result)
-        return _stitch_groups(self.query, per_group_results, aggregate_indices_per_group)
-
-    def finalize_kmeans(self) -> KMeansOutcome | None:
-        """Merge all received Computer knowledges into final centroids.
-
-        Knowledges whose k differs (Computers on starved partitions cap
-        k at their point count) cannot be barycenter-matched; the
-        combiner keeps the most common k and drops the rest.
-        """
-        if not self.knowledges:
-            return None
-        ordered = [self.knowledges[i] for i in sorted(self.knowledges)]
-        k_counts: dict[int, int] = {}
-        for knowledge in ordered:
-            k_counts[knowledge.k] = k_counts.get(knowledge.k, 0) + 1
-        dominant_k = max(k_counts, key=lambda k: (k_counts[k], k))
-        ordered = [kn for kn in ordered if kn.k == dominant_k]
-        merged = ordered[0]
-        if len(ordered) > 1:
-            merged = merge_knowledge(ordered[0], ordered[1:])
-        return KMeansOutcome(
-            centroids=merged.centroids,
-            weights=merged.weights,
-            knowledges_merged=len(ordered),
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "EdgeletExecutor is deprecated; use "
+            "repro.core.runtime.ExecutionCoordinator",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        kwargs["strategy"] = OvercollectionStrategy()
+        super().__init__(*args, **kwargs)
 
+    # Legacy private aliases kept for external scripts that poked at
+    # the monolith's internals.  New code: use the public accessors.
 
-def _stitch_groups(
-    query: GroupByQuery,
-    per_group: list[GroupingSetsResult],
-    aggregate_indices_per_group: list[list[int]],
-) -> GroupingSetsResult:
-    """Assemble per-vertical-group results into one result row set."""
-    import json as _json
+    @property
+    def _builder_rows(self):
+        return self.builder.rows_by_partition
 
-    stitched_sets: list[tuple[dict[str, Any], ...]] = []
-    for set_index, grouping_set in enumerate(query.grouping_sets):
-        merged_rows: dict[str, dict[str, Any]] = {}
-        for group_index, result in enumerate(per_group):
-            names = [
-                query.aggregates[i].output_name
-                for i in aggregate_indices_per_group[group_index]
-            ]
-            for row in result.per_set_rows[set_index]:
-                key = _json.dumps(
-                    [row.get(c) for c in grouping_set], separators=(",", ":")
-                )
-                target = merged_rows.setdefault(
-                    key, {c: row.get(c) for c in grouping_set}
-                )
-                for name in names:
-                    target[name] = row.get(name)
-        candidates = (merged_rows[key] for key in sorted(merged_rows))
-        # HAVING applies here: only now are all of a row's aggregates
-        # (possibly spread over vertical groups) present
-        ordered = tuple(
-            row
-            for row in candidates
-            if query.having is None or query.having.evaluate(row)
-        )
-        stitched_sets.append(ordered)
-    return GroupingSetsResult(query, tuple(stitched_sets))
+    @property
+    def _combiners(self):
+        return self.combiner.states
 
-
-class EdgeletExecutor:
-    """Runs one assigned plan over a device swarm.
-
-    Args:
-        simulator: the shared virtual clock.
-        network: the opportunistic network (devices must be attached by
-            the executor — do not pre-attach handlers).
-        devices: device_id -> :class:`Edgelet` for every participant.
-        plan: an assigned, validated plan (``assigned_to`` set on every
-            data-processor operator; devices must exist in ``devices``).
-        collection_window: virtual seconds granted to the collection
-            phase.
-        deadline: virtual time by which the Querier must be served.
-        secure_channels: seal every payload in an authenticated
-            envelope (realistic, slower) or ship plain payloads through
-            the same code paths (fast, for large-scale benches).
-        contribution_copies: how many times each contributor transmits
-            its contribution (staggered retransmissions improve delivery
-            on lossy links; builders deduplicate with a Bloom filter so
-            duplicates never skew the snapshot).
-        audit_ledger: optional
-            :class:`repro.manager.audit.AuditLedger`; when provided,
-            every processing step appends a signed, hash-chained record
-            (the evidence backing the Crowd Liability property).
-        telemetry: the :class:`repro.telemetry.Telemetry` to record
-            phase spans, counters, and profiles into; defaults to the
-            simulator's instance.
-        seed: randomness for contribution jitter.
-    """
-
-    def __init__(
-        self,
-        simulator: Simulator,
-        network: OpportunisticNetwork,
-        devices: dict[str, Edgelet],
-        plan: QueryExecutionPlan,
-        collection_window: float = 30.0,
-        deadline: float = 100.0,
-        secure_channels: bool = True,
-        extrapolate_lost: bool = True,
-        contribution_copies: int = 1,
-        audit_ledger: Any = None,
-        telemetry: Any = None,
-        seed: int = 0,
-    ):
-        if contribution_copies < 1:
-            raise ExecutionError("contribution_copies must be at least 1")
-        if deadline <= collection_window:
-            raise ExecutionError("deadline must exceed the collection window")
-        self.simulator = simulator
-        self.network = network
-        self.devices = devices
-        self.plan = plan
-        # All phase boundaries are relative to the executor's start time,
-        # so several queries can run back-to-back on one simulator.
-        self.start_time = simulator.now
-        self.collection_window = collection_window
-        self.deadline = deadline
-        self.collect_end = self.start_time + collection_window
-        self.deadline_at = self.start_time + deadline
-        self.secure_channels = secure_channels
-        self.extrapolate_lost = extrapolate_lost
-        self.contribution_copies = contribution_copies
-        self.audit_ledger = audit_ledger
-        self._contribution_filters: dict[Any, Any] = {}
-        self._rng = random.Random(seed)
-        self.report = ExecutionReport(query_id=plan.query_id)
-
-        if telemetry is None:
-            telemetry = simulator.telemetry
-        self.telemetry = telemetry
-        self.report.telemetry = telemetry
-        metrics = telemetry.metrics
-        query_id = plan.query_id
-        self._m_contributions = metrics.counter(
-            "exec.contributions_accepted", query=query_id
-        )
-        self._m_tuples = metrics.counter("exec.tuples_collected", query=query_id)
-        self._m_snapshots = metrics.counter("exec.snapshots_frozen", query=query_id)
-        self._m_partials = metrics.counter("exec.partials_recorded", query=query_id)
-        self._m_knowledges = metrics.counter(
-            "exec.knowledges_recorded", query=query_id
-        )
-        self._m_heartbeats = metrics.counter("exec.heartbeats_run", query=query_id)
-        self._m_finals = metrics.counter("exec.final_results", query=query_id)
-        self._prof_aggregate = telemetry.profiler.section("operator.aggregate")
-        self._prof_heartbeat = telemetry.profiler.section("operator.kmeans_heartbeat")
-        self._prof_combine = telemetry.profiler.section("operator.combine")
-
-        # Phase spans: the structured execution timeline.  The
-        # collection span closes at the first frozen snapshot and the
-        # computation span opens at the first partial/K-Means init,
-        # mirroring exactly what the legacy substring heuristics mined
-        # from the text trace.  Spans left open (a phase that never
-        # happened) render as ``None`` boundaries.
-        from repro.telemetry import NullTracer
-
-        tracer = telemetry.tracer
-        self._span_execution = tracer.start(
-            "execution",
-            at=self.start_time,
-            query_id=query_id,
-            kind=plan.metadata["kind"],
-        )
-        self._span_collection = tracer.start(
-            "phase:collection", at=self.start_time, parent=self._span_execution
-        )
-        self._span_computation: Any = None
-        self._span_combination: Any = None
-        # A no-op tracer hands out one shared inert span; publishing it
-        # would poison phase_timeline, which then rightly falls back to
-        # the legacy text-trace scan.
-        self._record_phase_spans = not isinstance(tracer, NullTracer)
-        if self._record_phase_spans:
-            self.report.phase_spans["execution"] = self._span_execution
-            self.report.phase_spans["collection"] = self._span_collection
-
-        metadata = plan.metadata
-        self.kind: str = metadata["kind"]
-        self.config = OvercollectionConfig.from_dict(metadata["overcollection"])
-        self.column_groups: list[list[str]] = [
-            list(group) for group in metadata["column_groups"]
-        ]
-        self.collected_columns: list[str] = list(metadata["collected_columns"])
-        self.query: GroupByQuery | None = (
-            GroupByQuery.from_dict(metadata["group_by"])
-            if metadata.get("group_by")
-            else None
-        )
-        self.heartbeats: int = metadata.get("heartbeats") or 0
-        self.kmeans_k: int = metadata.get("kmeans_k") or 0
-        self.feature_columns: list[str] = list(metadata.get("feature_columns") or [])
-
-        self._builder_by_partition: dict[int, Operator] = {}
-        self._computers: list[Operator] = []
-        self._aggregate_indices_per_group: list[list[int]] = [
-            [] for _ in self.column_groups
-        ]
-        self._kmeans_states: dict[int, KMeansComputerState] = {}
-        self._kmeans_rows: dict[int, list[dict[str, Any]]] = {}
-        self._builder_rows: dict[int, list[dict[str, Any]]] = {}
-        # first-wins guard against duplicated PARTITION messages: a
-        # Computer runs its partition exactly once, so a network-level
-        # duplicate must not double-count tuples or recompute partials
-        self._partitions_seen: set[tuple[int, int]] = set()
-        self._combiners: dict[str, _CombinerRuntime] = {}
-        self._final_delivered = False
-        self._stats_delivered = False
-        # Demo query (ii): "a K-Means followed by a Group By on the
-        # resulting clusters".  When a kmeans spec carries a group_by,
-        # a second round groups the partitions by assigned cluster.
-        self._stats_query: GroupByQuery | None = None
-        if self.kind == "kmeans" and self.query is not None:
-            self._stats_query = GroupByQuery(
-                grouping_sets=(("cluster",),),
-                aggregates=self.query.aggregates,
-            )
-        self._stats_partials: dict[str, dict[int, PartialGroups]] = {
-            "combiner": {}, "combiner-backup": {},
-        }
-        self._index_plan()
-
-    # -- setup -------------------------------------------------------------
-
-    def _index_plan(self) -> None:
-        for builder in self.plan.operators(OperatorRole.SNAPSHOT_BUILDER):
-            if builder.params.get("backup_rank", 0) == 0:
-                self._builder_by_partition[builder.params["partition_index"]] = builder
-                self._builder_rows[builder.params["partition_index"]] = []
-        for computer in self.plan.operators(OperatorRole.COMPUTER):
-            if computer.params.get("backup_rank", 0) != 0:
-                continue
-            self._computers.append(computer)
-            group_index = computer.params["group_index"]
-            indices = computer.params.get("aggregate_indices")
-            if indices is not None:
-                self._aggregate_indices_per_group[group_index] = list(indices)
-        for name in ("combiner", "combiner-backup"):
-            self._combiners[name] = _CombinerRuntime(
-                name=name,
-                config=self.config,
-                n_groups=len(self.column_groups),
-                query=self.query,
-                extrapolate=self.extrapolate_lost,
-            )
-
-    def _device_of(self, operator: Operator) -> Edgelet:
-        device_id = operator.assigned_to
-        if device_id is None:
-            raise ExecutionError(f"operator {operator.op_id} is unassigned")
-        try:
-            return self.devices[device_id]
-        except KeyError:
-            raise ExecutionError(
-                f"operator {operator.op_id} assigned to unknown device {device_id}"
-            ) from None
-
-    def _trace(self, message: str) -> None:
-        self.report.trace.append((self.simulator.now, message))
-
-    # -- phase accounting --------------------------------------------------
-
-    def _mark_collection_end(self) -> None:
-        """First snapshot froze: the collection phase is over."""
-        if self._span_collection.end is None:
-            now = self.simulator.now
-            self._span_collection.finish(at=now)
-            self.telemetry.tracer.mark(
-                f"exec.{self.plan.query_id}.collection_end", at=now
-            )
-
-    def _mark_computation_start(self) -> None:
-        """First partial/K-Means init: the computation phase began."""
-        if self._span_computation is None:
-            now = self.simulator.now
-            self._span_computation = self.telemetry.tracer.start(
-                "phase:computation", at=now, parent=self._span_execution
-            )
-            if self._record_phase_spans:
-                self.report.phase_spans["computation"] = self._span_computation
-            self.telemetry.tracer.mark(
-                f"exec.{self.plan.query_id}.computation_start", at=now
-            )
-
-    def _mark_combination_start(self) -> None:
-        """The combiner deadline fired: the combination phase began."""
-        if self._span_combination is None:
-            now = self.simulator.now
-            if self._span_computation is not None:
-                self._span_computation.finish(at=now)
-            self._span_combination = self.telemetry.tracer.start(
-                "phase:combination", at=now, parent=self._span_execution
-            )
-            if self._record_phase_spans:
-                self.report.phase_spans["combination"] = self._span_combination
-
-    def _count_tuples(self, device_id: str, count: int) -> None:
-        tallies = self.report.tuples_per_device
-        tallies[device_id] = tallies.get(device_id, 0) + count
-
-    def _audit(self, device: Edgelet, op_id: str, action: str, tuple_count: int) -> None:
-        """Append a signed record to the audit ledger, if one is wired."""
-        if self.audit_ledger is None:
-            return
-        self.audit_ledger.append(
-            device.keyring.keypair,
-            self.plan.query_id,
-            op_id,
-            action,
-            tuple_count,
-            self.simulator.now,
-        )
-
-    # -- sealed transport -----------------------------------------------------
-
-    def _ship(
-        self,
-        sender: Edgelet,
-        recipient: Edgelet,
-        kind: MessageKind,
-        payload: Any,
-        size_hint: int = 256,
-    ) -> None:
-        """Seal (or not) and send a payload between two edgelets."""
-        if self.secure_channels:
-            sender.keyring.learn_public(
-                recipient.fingerprint, recipient.keyring.keypair.public
-            )
-            recipient.keyring.learn_public(
-                sender.fingerprint, sender.keyring.keypair.public
-            )
-            envelope = sender.seal_for(
-                recipient.fingerprint, self.plan.query_id, kind.value, payload
-            )
-            wire_payload: Any = envelope
-            size = envelope.size_bytes()
-        else:
-            wire_payload = payload
-            size = max(size_hint, 64)
-        self.network.send(
-            Message(
-                sender=sender.device_id,
-                recipient=recipient.device_id,
-                kind=kind,
-                payload=wire_payload,
-                size_bytes=size,
-            )
-        )
-
-    def _unwrap(self, device: Edgelet, message: Message) -> Any | None:
-        """Open a received payload; ``None`` means drop it (tampered)."""
-        if not self.secure_channels:
-            payload = message.payload
-            items = payload.get("rows") if isinstance(payload, dict) else None
-            device.tee.process_cleartext(items if items is not None else [payload])
-            return payload
-        try:
-            return device.open_from(message.payload)
-        except AuthenticationError:
-            self._trace(
-                f"{device.device_id} dropped unauthenticated {message.kind.value}"
-            )
-            return None
-
-    # -- run -----------------------------------------------------------------
-
-    def run(self) -> ExecutionReport:
-        """Execute the plan to the deadline and return the report."""
-        self._attach_handlers()
-        self._schedule_contributions()
-        self.simulator.schedule_at(
-            self.collect_end, self._end_collection, "end-collection"
-        )
-        if self.kind == "kmeans":
-            self._schedule_heartbeats()
-        self.simulator.schedule_at(self.deadline_at, self._finalize, "combiner-deadline")
-        horizon = self.deadline_at + self._result_slack()
-        if self._stats_query is not None:
-            self.simulator.schedule_at(
-                self.deadline_at + 0.6 * self._stats_window(),
-                self._finalize_stats,
-                "cluster-stats-deadline",
-            )
-            horizon += self._stats_window()
-        self.simulator.run_until(horizon)
-        self.report.network_stats = self.network.stats.as_dict()
-        if self._span_combination is not None:
-            self._span_combination.finish(at=self.simulator.now)
-        self._span_execution.finish(at=self.simulator.now)
-        return self.report
-
-    def _result_slack(self) -> float:
-        """Extra virtual time for the final-result message to land."""
-        return max(5.0, 0.1 * self.deadline)
-
-    def _stats_window(self) -> float:
-        """Extra virtual time granted to the Group-By-on-clusters round."""
-        return max(10.0, 0.3 * self.deadline)
-
-    # -- phase 1: collection ------------------------------------------------------
+    @property
+    def _aggregate_indices_per_group(self):
+        return self.computer.aggregate_indices_per_group
 
     def _attach_handlers(self) -> None:
-        attached: set[str] = set()
-        for operator in self.plan.operators():
-            if operator.role == OperatorRole.DATA_CONTRIBUTOR:
-                device_id = operator.params["device"]
-            elif operator.assigned_to is not None:
-                device_id = operator.assigned_to
-            else:
-                continue
-            if device_id in attached:
-                continue
-            attached.add(device_id)
-            device = self.devices.get(device_id)
-            if device is None:
-                raise ExecutionError(f"unknown device {device_id} in plan")
-            self.network.attach(device_id, self._make_handler(device))
-
-    def _make_handler(self, device: Edgelet):
-        def handle(message: Message) -> None:
-            payload = self._unwrap(device, message)
-            if payload is None:
-                return
-            self._dispatch(device, message.kind, payload)
-        return handle
+        self.attach_handlers()
 
     def _schedule_contributions(self) -> None:
-        contributors = self.plan.operators(OperatorRole.DATA_CONTRIBUTOR)
-        predicate = None
-        if self.query is not None and self.query.where is not None:
-            where = self.query.where
-            predicate = lambda row: where.evaluate(row)
-        for leaf in contributors:
-            device = self.devices.get(leaf.params["device"])
-            if device is None:
-                raise ExecutionError(
-                    f"contributor device {leaf.params['device']} missing"
-                )
-            consumers = self.plan.consumers_of(leaf.op_id)
-            primary = [
-                c for c in consumers if c.params.get("backup_rank", 0) == 0
-            ]
-            if not primary:
-                continue
-            builder = primary[0]
-            for copy_index in range(self.contribution_copies):
-                send_at = self.start_time + self._rng.uniform(
-                    0.0, self.collection_window * 0.6
-                )
-                self.simulator.schedule_at(
-                    send_at,
-                    self._make_contribution(device, builder, consumers, predicate),
-                    f"contribute {device.device_id} (copy {copy_index})",
-                )
-
-    def _make_contribution(self, device, builder, consumers, predicate):
-        def fire() -> None:
-            if not self.network.is_online(device.device_id):
-                return  # owner kept the device offline; no contribution
-            rows = device.contribute(predicate, self.collected_columns)
-            if not rows:
-                return
-            for consumer in consumers:
-                target = self._device_of(consumer)
-                self._ship(
-                    device,
-                    target,
-                    MessageKind.CONTRIBUTION,
-                    {
-                        "op_id": consumer.op_id,
-                        "partition_index": consumer.params["partition_index"],
-                        "contribution_id": f"{device.fingerprint}:{consumer.op_id}",
-                        "rows": rows,
-                    },
-                    size_hint=96 * len(rows),
-                )
-        return fire
-
-    def _is_duplicate_contribution(self, dedup_key: Any, payload: dict[str, Any]) -> bool:
-        """Bloom-filter dedup of retransmitted contributions.
-
-        One filter per receiving operator; constant memory, so it also
-        fits a RAM-starved home box.  False positives (rare at the
-        configured error rate) drop a legitimate contribution — the
-        snapshot stays representative, only marginally smaller.
-        """
-        contribution_id = payload.get("contribution_id")
-        if contribution_id is None:
-            return False
-        from repro.query.sketches import BloomFilter
-
-        bloom = self._contribution_filters.get(dedup_key)
-        if bloom is None:
-            capacity = max(64, 2 * len(self.plan.operators(OperatorRole.DATA_CONTRIBUTOR)))
-            bloom = BloomFilter(capacity=capacity, error_rate=0.001)
-            self._contribution_filters[dedup_key] = bloom
-        return not bloom.add_if_new(contribution_id)
+        self.contributor.schedule_contributions()
 
     def _end_collection(self) -> None:
-        """Builders freeze, commit, and ship their partitions."""
-        for partition_index, builder in sorted(self._builder_by_partition.items()):
-            device = self._device_of(builder)
-            if self.network.is_dead(device.device_id):
-                self._trace(f"{builder.op_id} dead at end of collection")
-                continue
-            rows = self._builder_rows.get(partition_index, [])
-            cap = self.config.partition_cardinality
-            if len(rows) > cap:
-                rows = rows[:cap]
-            if not rows:
-                self._trace(f"{builder.op_id} collected no rows")
-                continue
-            commitment = MerkleTree(
-                [repr(sorted(row.items())).encode("utf-8") for row in rows]
-            ).root_hex()
-            self._trace(
-                f"{builder.op_id} snapshot frozen: {len(rows)} rows, "
-                f"merkle={commitment[:12]}…"
-            )
-            self._mark_collection_end()
-            self._m_snapshots.inc()
-            self._audit(device, builder.op_id, "snapshot", len(rows))
-            latency = device.compute_latency(float(len(rows)))
-            self.simulator.schedule(
-                latency,
-                self._make_partition_send(builder, device, rows, commitment),
-                f"{builder.op_id} ship partition",
-            )
-
-    def _make_partition_send(self, builder, device, rows, commitment):
-        def fire() -> None:
-            if not self.network.is_online(device.device_id):
-                self._trace(f"{builder.op_id} offline, partition not shipped")
-                return
-            partition_index = builder.params["partition_index"]
-            for consumer in self.plan.consumers_of(builder.op_id):
-                if consumer.role != OperatorRole.COMPUTER:
-                    continue
-                if consumer.params.get("backup_rank", 0) != 0:
-                    continue
-                group = consumer.params.get("column_group") or self.collected_columns
-                projected = [
-                    {column: row.get(column) for column in group} for row in rows
-                ]
-                target = self._device_of(consumer)
-                self._ship(
-                    device,
-                    target,
-                    MessageKind.PARTITION,
-                    {
-                        "op_id": consumer.op_id,
-                        "partition_index": partition_index,
-                        "group_index": consumer.params.get("group_index", 0),
-                        "commitment": commitment,
-                        "rows": projected,
-                    },
-                    size_hint=64 * len(projected),
-                )
-        return fire
-
-    # -- phase 2: computation -------------------------------------------------------
-
-    def _dispatch(self, device: Edgelet, kind: MessageKind, payload: Any) -> None:
-        if kind == MessageKind.CONTRIBUTION:
-            self._on_contribution(device, payload)
-        elif kind == MessageKind.PARTITION:
-            self._on_partition(device, payload)
-        elif kind == MessageKind.PARTIAL_RESULT:
-            self._on_partial_result(device, payload)
-        elif kind == MessageKind.KNOWLEDGE:
-            self._on_knowledge(device, payload)
-        elif kind == MessageKind.FINAL_RESULT:
-            self._on_final_result(device, payload)
-
-    def _on_contribution(self, device: Edgelet, payload: dict[str, Any]) -> None:
-        if self.simulator.now > self.collect_end:
-            return  # too late, snapshot frozen
-        partition_index = payload["partition_index"]
-        if self._is_duplicate_contribution(partition_index, payload):
-            return
-        rows = payload["rows"]
-        bucket = self._builder_rows.get(partition_index)
-        if bucket is None:
-            return
-        cap = self.config.partition_cardinality
-        room = cap - len(bucket)
-        if room <= 0:
-            return
-        accepted = rows[:room]
-        bucket.extend(accepted)
-        self._count_tuples(device.device_id, len(accepted))
-        self._m_contributions.inc()
-        self._m_tuples.inc(len(accepted))
-
-    def _on_partition(self, device: Edgelet, payload: dict[str, Any]) -> None:
-        partition_index = payload["partition_index"]
-        group_index = payload.get("group_index", 0)
-        if (partition_index, group_index) in self._partitions_seen:
-            return  # duplicated in transit; this Computer already ran
-        self._partitions_seen.add((partition_index, group_index))
-        rows = payload["rows"]
-        self._count_tuples(device.device_id, len(rows))
-        computer = self._find_computer(partition_index, group_index)
-        if computer is None:
-            return
-        if self.kind == "aggregate":
-            self._run_aggregate_computer(device, computer, rows)
-        else:
-            self._init_kmeans_computer(device, computer, rows)
-
-    def _find_computer(self, partition_index: int, group_index: int) -> Operator | None:
-        for computer in self._computers:
-            if (
-                computer.params["partition_index"] == partition_index
-                and computer.params.get("group_index", 0) == group_index
-            ):
-                return computer
-        return None
-
-    def _run_aggregate_computer(
-        self, device: Edgelet, computer: Operator, rows: list[dict[str, Any]]
-    ) -> None:
-        indices = computer.params.get("aggregate_indices") or list(
-            range(len(self.query.aggregates))
-        )
-        sub_query = GroupByQuery(
-            grouping_sets=self.query.grouping_sets,
-            aggregates=tuple(self.query.aggregates[i] for i in indices),
-        )
-        with self._prof_aggregate:
-            partial = evaluate_group_by(sub_query, rows)
-        self._audit(device, computer.op_id, "partial", len(rows))
-        latency = device.compute_latency(float(len(rows)))
-        payload = {
-            "__aggregate__": True,
-            "partition_index": computer.params["partition_index"],
-            "group_index": computer.params.get("group_index", 0),
-            "partial": partial.to_dict(),
-        }
-        self.simulator.schedule(
-            latency,
-            self._make_partial_send(device, computer, payload),
-            f"{computer.op_id} partial",
-        )
-
-    def _make_partial_send(self, device, computer, payload):
-        def fire() -> None:
-            self._mark_computation_start()
-            if not self.network.is_online(device.device_id):
-                self._trace(f"{computer.op_id} offline, partial lost")
-                return
-            self._trace(f"{computer.op_id} partial result computed and sent")
-            for name in ("combiner", "combiner-backup"):
-                combiner_op = self.plan.operator(name)
-                target = self._device_of(combiner_op)
-                self._ship(
-                    device,
-                    target,
-                    MessageKind.PARTIAL_RESULT,
-                    dict(payload, op_id=name),
-                    size_hint=512,
-                )
-        return fire
-
-    # -- kmeans specifics --------------------------------------------------------
-
-    def _init_kmeans_computer(
-        self, device: Edgelet, computer: Operator, rows: list[dict[str, Any]]
-    ) -> None:
-        features = [
-            [row[c] for c in self.feature_columns]
-            if all(row.get(c) is not None for c in self.feature_columns)
-            else None
-            for row in rows
-        ]
-        points = [f for f in features if f is not None]
-        if not points:
-            self._trace(f"{computer.op_id} received no usable feature rows")
-            return
-        partition_index = computer.params["partition_index"]
-        self._kmeans_states[partition_index] = KMeansComputerState(
-            partition=np.asarray(points, dtype=float),
-            k=self.kmeans_k,
-            seed=partition_index,
-        )
-        if self._stats_query is not None:
-            self._kmeans_rows[partition_index] = rows
-        self._trace(
-            f"{computer.op_id} initialized K-Means on {len(points)} points"
-        )
-        self._mark_computation_start()
-
-    def _schedule_heartbeats(self) -> None:
-        if self.heartbeats <= 0:
-            raise ExecutionError("kmeans plan without heartbeats")
-        window_start = self.collect_end
-        window_end = self.start_time + self.deadline * 0.95
-        interval = (window_end - window_start) / self.heartbeats
-        for beat in range(1, self.heartbeats + 1):
-            at = window_start + beat * interval
-            last = beat == self.heartbeats
-            self.simulator.schedule_at(
-                at,
-                self._make_heartbeat(last),
-                f"heartbeat {beat}",
-            )
-
-    def _make_heartbeat(self, last: bool):
-        def fire() -> None:
-            self.report.heartbeats_run += 1
-            self._m_heartbeats.inc()
-            beat = self.report.heartbeats_run
-            self.telemetry.tracer.event(
-                "heartbeat", at=self.simulator.now,
-                query_id=self.plan.query_id, beat=beat,
-            )
-            shifts: list[float] = []
-            for computer in self._computers:
-                partition_index = computer.params["partition_index"]
-                state = self._kmeans_states.get(partition_index)
-                if state is None:
-                    continue
-                device = self._device_of(computer)
-                if not self.network.is_online(device.device_id):
-                    continue
-                previous = state.knowledge
-                with self._prof_heartbeat:
-                    knowledge = state.heartbeat()
-                if previous is not None and previous.k == knowledge.k:
-                    from repro.ml.metrics import centroid_matching_distance
-
-                    shifts.append(
-                        centroid_matching_distance(
-                            previous.centroids, knowledge.centroids
-                        )
-                    )
-                payload = {
-                    "__aggregate__": True,
-                    "partition_index": partition_index,
-                    "knowledge": knowledge.to_payload(),
-                }
-                if last:
-                    # ship to the combiner and its active backup
-                    for name in ("combiner", "combiner-backup"):
-                        combiner_op = self.plan.operator(name)
-                        target = self._device_of(combiner_op)
-                        self._ship(
-                            device, target, MessageKind.KNOWLEDGE,
-                            dict(payload, op_id=name), size_hint=512,
-                        )
-                else:
-                    for peer in self._computers:
-                        if peer.op_id == computer.op_id:
-                            continue
-                        target = self._device_of(peer)
-                        self._ship(
-                            device, target, MessageKind.KNOWLEDGE,
-                            dict(payload, op_id=peer.op_id), size_hint=512,
-                        )
-            if shifts:
-                self.report.convergence_trace.append(
-                    (beat, sum(shifts) / len(shifts))
-                )
-        return fire
-
-    def _on_knowledge(self, device: Edgelet, payload: dict[str, Any]) -> None:
-        op_id = payload.get("op_id", "")
-        if "final_centroids" in payload:
-            self._on_final_centroids(device, payload)
-            return
-        knowledge = CentroidKnowledge.from_payload(payload["knowledge"])
-        if op_id in self._combiners:
-            if self.network.is_dead(device.device_id):
-                return
-            self._combiners[op_id].record_knowledge(
-                payload["partition_index"], knowledge
-            )
-            self._m_knowledges.inc()
-            return
-        for computer in self._computers:
-            if computer.op_id == op_id:
-                state = self._kmeans_states.get(computer.params["partition_index"])
-                if state is not None:
-                    state.receive(knowledge)
-                return
-
-    # -- phase 2b: Group By on the resulting clusters ----------------------------------
-
-    def _on_final_centroids(self, device: Edgelet, payload: dict[str, Any]) -> None:
-        """A Computer labels its partition with the final centroids and
-        computes the grouped statistics per cluster."""
-        if self._stats_query is None:
-            return
-        op_id = payload.get("op_id", "")
-        computer = next((c for c in self._computers if c.op_id == op_id), None)
-        if computer is None:
-            return
-        partition_index = computer.params["partition_index"]
-        rows = self._kmeans_rows.get(partition_index)
-        if not rows:
-            return
-        centroids = np.asarray(payload["final_centroids"], dtype=float)
-        labeled = []
-        for row in rows:
-            features = [row.get(c) for c in self.feature_columns]
-            if any(value is None for value in features):
-                continue
-            point = np.asarray(features, dtype=float)
-            distances = np.sum((centroids - point) ** 2, axis=1)
-            labeled.append(dict(row, cluster=int(np.argmin(distances))))
-        partial = evaluate_group_by(self._stats_query, labeled)
-        self._audit(device, computer.op_id, "cluster_stats", len(labeled))
-        latency = device.compute_latency(float(max(len(labeled), 1)))
-
-        def send() -> None:
-            if not self.network.is_online(device.device_id):
-                return
-            for name in ("combiner", "combiner-backup"):
-                target = self._device_of(self.plan.operator(name))
-                self._ship(
-                    device, target, MessageKind.PARTIAL_RESULT,
-                    {
-                        "__aggregate__": True,
-                        "op_id": name,
-                        "stats": True,
-                        "partition_index": partition_index,
-                        "group_index": 0,
-                        "partial": partial.to_dict(),
-                    },
-                    size_hint=512,
-                )
-
-        self.simulator.schedule(latency, send, f"{op_id} cluster stats")
-
-    def _finalize_stats(self) -> None:
-        """Combiners merge the per-cluster statistics and ship them."""
-        if self._stats_query is None:
-            return
-        for name in ("combiner", "combiner-backup"):
-            device = self._device_of(self.plan.operator(name))
-            if not self.network.is_online(device.device_id):
-                continue
-            partials = self._stats_partials[name]
-            if not partials:
-                continue
-            merged = merge_partials(
-                self._stats_query,
-                (partials[key] for key in sorted(partials)),
-            )
-            result = finalize_partials(self._stats_query, merged)
-            querier_device = self._device_of(
-                self.plan.operators(OperatorRole.QUERIER)[0]
-            )
-            self._ship(
-                device, querier_device, MessageKind.FINAL_RESULT,
-                {
-                    "__aggregate__": True,
-                    "combiner": name,
-                    "stats_rows": [list(rows) for rows in result.per_set_rows],
-                },
-                size_hint=1024,
-            )
-            self._trace(f"{name} sent cluster statistics to querier")
-
-    # -- phase 3: combination ---------------------------------------------------------
-
-    def _on_partial_result(self, device: Edgelet, payload: dict[str, Any]) -> None:
-        op_id = payload.get("op_id", "")
-        runtime = self._combiners.get(op_id)
-        if runtime is None:
-            return
-        partial = PartialGroups.from_dict(payload["partial"])
-        if payload.get("stats"):
-            self._stats_partials[op_id][payload["partition_index"]] = partial
-            return
-        runtime.record_partial(
-            payload["partition_index"], payload["group_index"], partial
-        )
-        self._m_partials.inc()
+        self.end_collection()
 
     def _finalize(self) -> None:
-        self._mark_combination_start()
-        for name in ("combiner", "combiner-backup"):
-            combiner_op = self.plan.operator(name)
-            device = self._device_of(combiner_op)
-            if not self.network.is_online(device.device_id):
-                self._trace(f"{name} offline at deadline")
-                continue
-            runtime = self._combiners[name]
-            if self.kind == "aggregate":
-                with self._prof_combine:
-                    result = runtime.finalize_aggregate(
-                        self._aggregate_indices_per_group
-                    )
-                if result is None:
-                    self._trace(f"{name}: no partitions received, cannot finalize")
-                    continue
-                payload: dict[str, Any] = {
-                    "__aggregate__": True,
-                    "combiner": name,
-                    "tally": runtime.tally_summary(),
-                    "rows": [list(rows) for rows in result.per_set_rows],
-                }
-            else:
-                with self._prof_combine:
-                    outcome = runtime.finalize_kmeans()
-                if outcome is None:
-                    self._trace(f"{name}: no knowledges received, cannot finalize")
-                    continue
-                if self._stats_query is not None and name == "combiner":
-                    # launch the Group-By-on-clusters round: ship the
-                    # final centroids back to every Computer
-                    for computer in self._computers:
-                        target = self._device_of(computer)
-                        self._ship(
-                            device, target, MessageKind.KNOWLEDGE,
-                            {
-                                "__aggregate__": True,
-                                "op_id": computer.op_id,
-                                "final_centroids": outcome.centroids.tolist(),
-                            },
-                            size_hint=512,
-                        )
-                payload = {
-                    "__aggregate__": True,
-                    "combiner": name,
-                    "tally": runtime.tally_summary(),
-                    "centroids": outcome.centroids.tolist(),
-                    "weights": outcome.weights.tolist(),
-                    "knowledges_merged": outcome.knowledges_merged,
-                }
-            self._audit(device, name, "combine", 0)
-            querier_op = self.plan.operators(OperatorRole.QUERIER)[0]
-            querier_device = self._device_of(querier_op)
-            self._ship(
-                device, querier_device, MessageKind.FINAL_RESULT, payload,
-                size_hint=1024,
-            )
-            self._trace(f"{name} sent final result to querier")
-
-    def _on_final_result(self, device: Edgelet, payload: dict[str, Any]) -> None:
-        if "stats_rows" in payload:
-            self._on_cluster_stats_result(payload)
-            return
-        if self._final_delivered:
-            return  # active-backup duplicate, querier dedupes
-        self._final_delivered = True
-        self.report.success = True
-        self.report.delivered_by = payload.get("combiner")
-        self.report.completion_time = self.simulator.now
-        self._m_finals.inc()
-        if self._span_combination is not None:
-            self._span_combination.finish(at=self.simulator.now)
-        self.telemetry.tracer.mark(
-            f"exec.{self.plan.query_id}.completion", at=self.simulator.now
-        )
-        self.report.tally = payload.get("tally", {})
-        self.report.received_partitions = self.report.tally.get("received", 0)
-        if self.kind == "aggregate":
-            per_set = tuple(
-                tuple(dict(row) for row in rows) for rows in payload["rows"]
-            )
-            self.report.result = GroupingSetsResult(self.query, per_set)
-        else:
-            self.report.kmeans = KMeansOutcome(
-                centroids=np.asarray(payload["centroids"], dtype=float),
-                weights=np.asarray(payload["weights"], dtype=float),
-                knowledges_merged=payload["knowledges_merged"],
-            )
-        self._audit(device, "querier", "deliver", 0)
-        self._trace(
-            f"querier received final result from {self.report.delivered_by}"
-        )
-
-    def _on_cluster_stats_result(self, payload: dict[str, Any]) -> None:
-        """Attach the Group-By-on-clusters result to the K-Means outcome."""
-        if self._stats_delivered or self.report.kmeans is None:
-            return
-        self._stats_delivered = True
-        per_set = tuple(
-            tuple(dict(row) for row in rows) for rows in payload["stats_rows"]
-        )
-        stats = GroupingSetsResult(self._stats_query, per_set)
-        import dataclasses
-
-        self.report.kmeans = dataclasses.replace(
-            self.report.kmeans, cluster_stats=stats
-        )
-        self._trace("querier received cluster statistics")
+        self.finalize()

@@ -1,0 +1,57 @@
+"""Per-role operator runtimes and the execution coordinator.
+
+The legacy ``EdgeletExecutor`` god-class is decomposed into one small
+runtime per :class:`repro.core.qep.OperatorRole` plus a pluggable
+resiliency strategy:
+
+========================  ==============================================
+module                    owns
+========================  ==============================================
+:mod:`.context`           shared clock/network/plan state and services
+:mod:`.contributor`       jittered contribution scheduling
+:mod:`.builder`           snapshot intake, freeze, commit, ship
+:mod:`.computer`          aggregate folding and K-Means heartbeats
+:mod:`.combiner`          partial/knowledge merge algebra and finalize
+:mod:`.querier`           final-result dedup and report assembly
+:mod:`.strategy`          Overcollection / Backup resiliency policies
+:mod:`.coordinator`       routing, dedup, phase timers, run horizon
+========================  ==============================================
+
+``repro.core.execution`` and ``repro.core.backup_execution`` remain as
+deprecated thin shims over :class:`ExecutionCoordinator`.
+"""
+
+from repro.core.runtime.builder import BuilderRuntime, commit_snapshot, ship_partition
+from repro.core.runtime.combiner import CombinerRuntime, CombinerState, stitch_groups
+from repro.core.runtime.computer import ComputerRuntime
+from repro.core.runtime.context import ExecutionContext
+from repro.core.runtime.contributor import ContributorRuntime
+from repro.core.runtime.coordinator import ExecutionCoordinator, infer_strategy
+from repro.core.runtime.querier import QuerierRuntime
+from repro.core.runtime.report import ExecutionError, ExecutionReport, KMeansOutcome
+from repro.core.runtime.strategy import (
+    BackupStrategy,
+    OvercollectionStrategy,
+    StrategyRuntime,
+)
+
+__all__ = [
+    "BackupStrategy",
+    "BuilderRuntime",
+    "CombinerRuntime",
+    "CombinerState",
+    "ComputerRuntime",
+    "ContributorRuntime",
+    "ExecutionContext",
+    "ExecutionCoordinator",
+    "ExecutionError",
+    "ExecutionReport",
+    "KMeansOutcome",
+    "OvercollectionStrategy",
+    "QuerierRuntime",
+    "StrategyRuntime",
+    "commit_snapshot",
+    "infer_strategy",
+    "ship_partition",
+    "stitch_groups",
+]

@@ -1,0 +1,151 @@
+"""Snapshot Builder runtime: contribution intake, freeze, commit, ship.
+
+Under the Overcollection strategy one primary builder owns each hash
+partition: it deduplicates retransmitted contributions with a Bloom
+filter, caps the partition at ``C / n`` tuples, commits to the frozen
+snapshot with a Merkle root, and ships column-group projections to the
+Computers.  (Under the Backup strategy the replica chains in
+:class:`repro.core.runtime.strategy.BackupStrategy` drive these same
+mechanics per rank.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.qep import Operator, OperatorRole
+from repro.core.runtime.context import ExecutionContext
+from repro.crypto.merkle import MerkleTree
+from repro.devices.edgelet import Edgelet
+from repro.network.messages import MessageKind
+
+__all__ = ["BuilderRuntime", "commit_snapshot", "ship_partition"]
+
+
+def commit_snapshot(rows: list[dict[str, Any]]) -> str:
+    """Merkle-commit a frozen partition (order-sensitive, per row)."""
+    return MerkleTree(
+        [repr(sorted(row.items())).encode("utf-8") for row in rows]
+    ).root_hex()
+
+
+def ship_partition(
+    ctx: ExecutionContext,
+    device: Edgelet,
+    partition_index: int,
+    rows: list[dict[str, Any]],
+    commitment: str,
+    consumers: Iterable[Operator],
+) -> None:
+    """Project the partition per consumer column group and send it."""
+    for consumer in consumers:
+        group = consumer.params.get("column_group") or ctx.collected_columns
+        projected = [
+            {column: row.get(column) for column in group} for row in rows
+        ]
+        target = ctx.device_of(consumer)
+        ctx.ship(
+            device,
+            target,
+            MessageKind.PARTITION,
+            {
+                "op_id": consumer.op_id,
+                "partition_index": partition_index,
+                "group_index": consumer.params.get("group_index", 0),
+                "commitment": commitment,
+                "rows": projected,
+            },
+            size_hint=64 * len(projected),
+        )
+
+
+class BuilderRuntime:
+    """Primary (rank-0) Snapshot Builder execution."""
+
+    role = OperatorRole.SNAPSHOT_BUILDER
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+        self.builder_by_partition: dict[int, Operator] = {}
+        self.rows_by_partition: dict[int, list[dict[str, Any]]] = {}
+
+    def index(self) -> None:
+        """Collect the primary builders out of the plan."""
+        for builder in self.ctx.plan.operators(OperatorRole.SNAPSHOT_BUILDER):
+            if builder.params.get("backup_rank", 0) == 0:
+                partition_index = builder.params["partition_index"]
+                self.builder_by_partition[partition_index] = builder
+                self.rows_by_partition[partition_index] = []
+
+    # -- collection ----------------------------------------------------------
+
+    def on_contribution(self, device: Edgelet, payload: dict[str, Any]) -> None:
+        """Accept one (possibly duplicated) contributor transmission."""
+        ctx = self.ctx
+        if ctx.simulator.now > ctx.collect_end:
+            return  # too late, snapshot frozen
+        partition_index = payload["partition_index"]
+        if ctx.is_duplicate_contribution(partition_index, payload):
+            return
+        rows = payload["rows"]
+        bucket = self.rows_by_partition.get(partition_index)
+        if bucket is None:
+            return
+        cap = ctx.config.partition_cardinality
+        room = cap - len(bucket)
+        if room <= 0:
+            return
+        accepted = rows[:room]
+        bucket.extend(accepted)
+        ctx.count_tuples(device.device_id, len(accepted))
+        ctx.m_contributions.inc()
+        ctx.m_tuples.inc(len(accepted))
+
+    def end_collection(self) -> None:
+        """Builders freeze, commit, and ship their partitions."""
+        ctx = self.ctx
+        for partition_index, builder in sorted(self.builder_by_partition.items()):
+            device = ctx.device_of(builder)
+            if ctx.network.is_dead(device.device_id):
+                ctx.trace(f"{builder.op_id} dead at end of collection")
+                continue
+            rows = self.rows_by_partition.get(partition_index, [])
+            cap = ctx.config.partition_cardinality
+            if len(rows) > cap:
+                rows = rows[:cap]
+            if not rows:
+                ctx.trace(f"{builder.op_id} collected no rows")
+                continue
+            commitment = commit_snapshot(rows)
+            ctx.trace(
+                f"{builder.op_id} snapshot frozen: {len(rows)} rows, "
+                f"merkle={commitment[:12]}…"
+            )
+            ctx.mark_collection_end()
+            ctx.m_snapshots.inc()
+            ctx.audit(device, builder.op_id, "snapshot", len(rows))
+            latency = device.compute_latency(float(len(rows)))
+            ctx.simulator.schedule(
+                latency,
+                self._make_partition_send(builder, device, rows, commitment),
+                f"{builder.op_id} ship partition",
+            )
+
+    def _make_partition_send(self, builder, device, rows, commitment):
+        ctx = self.ctx
+
+        def fire() -> None:
+            if not ctx.network.is_online(device.device_id):
+                ctx.trace(f"{builder.op_id} offline, partition not shipped")
+                return
+            partition_index = builder.params["partition_index"]
+            consumers = [
+                consumer
+                for consumer in ctx.plan.consumers_of(builder.op_id)
+                if consumer.role == OperatorRole.COMPUTER
+                and consumer.params.get("backup_rank", 0) == 0
+            ]
+            ship_partition(
+                ctx, device, partition_index, rows, commitment, consumers
+            )
+        return fire

@@ -1,0 +1,321 @@
+"""Computing Combiner runtime and its pure merge/finalize algebra.
+
+:class:`CombinerState` is the side-effect-free algebra one combiner
+instance applies — idempotent partial recording, tallying, merge /
+extrapolate / stitch at the deadline.  :class:`CombinerRuntime` drives
+two of them (the Computing Combiner and its Active Backup, running the
+identical logic in parallel) against the network: it records inbound
+partials/knowledges and, at the deadline, finalizes and ships results
+to the Querier.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.overcollection import OvercollectionConfig, PartitionTally
+from repro.core.qep import OperatorRole
+from repro.core.runtime.context import ExecutionContext
+from repro.core.runtime.report import ExecutionError, KMeansOutcome
+from repro.devices.edgelet import Edgelet
+from repro.ml.distributed_kmeans import CentroidKnowledge, merge_knowledge
+from repro.network.messages import MessageKind
+from repro.query.groupby import (
+    GroupByQuery,
+    GroupingSetsResult,
+    PartialGroups,
+    finalize_partials,
+    merge_partials,
+)
+
+if TYPE_CHECKING:
+    from repro.core.runtime.computer import ComputerRuntime
+
+__all__ = ["CombinerState", "CombinerRuntime", "stitch_groups", "COMBINER_NAMES"]
+
+COMBINER_NAMES = ("combiner", "combiner-backup")
+
+
+class CombinerState:
+    """Shared merge algebra of the Computing Combiner and its Active Backup."""
+
+    def __init__(
+        self,
+        name: str,
+        config: OvercollectionConfig,
+        n_groups: int,
+        query: GroupByQuery | None,
+        extrapolate: bool,
+    ):
+        self.name = name
+        self.config = config
+        self.n_groups = n_groups
+        self.query = query
+        self.extrapolate = extrapolate
+        self.partials: dict[tuple[int, int], PartialGroups] = {}
+        self.knowledges: dict[int, CentroidKnowledge] = {}
+        self.group_tallies = [PartitionTally(config) for _ in range(n_groups)]
+
+    def record_partial(
+        self, partition_index: int, group_index: int, partial: PartialGroups
+    ) -> None:
+        """Accept one aggregate partial result (idempotent per cell)."""
+        key = (partition_index, group_index)
+        if key in self.partials:
+            return
+        self.partials[key] = partial
+        self.group_tallies[group_index].record(partition_index)
+
+    def record_knowledge(self, partition_index: int, knowledge: CentroidKnowledge) -> None:
+        """Accept one K-Means knowledge (last write wins per partition)."""
+        self.knowledges[partition_index] = knowledge
+        self.group_tallies[0].record(partition_index)
+
+    def tally_summary(self) -> dict[str, Any]:
+        """Worst-group tally summary (the binding constraint)."""
+        summaries = [tally.summary() for tally in self.group_tallies]
+        worst = min(summaries, key=lambda s: s["received"])
+        worst["per_group_received"] = [s["received"] for s in summaries]
+        return worst
+
+    def finalize_aggregate(
+        self, aggregate_indices_per_group: list[list[int]]
+    ) -> GroupingSetsResult | None:
+        """Merge, extrapolate, and assemble the final aggregate rows.
+
+        Each vertical group contributes its own aggregates; rows of the
+        same grouping-set key are merged across groups.  Returns
+        ``None`` when some group received zero partitions.
+        """
+        if self.query is None:
+            raise ExecutionError("aggregate finalize without a query")
+        per_group_results: list[GroupingSetsResult] = []
+        for group_index in range(self.n_groups):
+            tally = self.group_tallies[group_index]
+            if tally.received_count == 0:
+                return None
+            group_query = GroupByQuery(
+                grouping_sets=self.query.grouping_sets,
+                aggregates=tuple(
+                    self.query.aggregates[i]
+                    for i in aggregate_indices_per_group[group_index]
+                ),
+            )
+            merged = merge_partials(
+                group_query,
+                (
+                    self.partials[(p, g)]
+                    for (p, g) in sorted(self.partials)
+                    if g == group_index
+                ),
+            )
+            result = finalize_partials(group_query, merged)
+            if self.extrapolate and tally.lost_count > 0:
+                result = result.scaled_counts(tally.scaling_factor())
+            per_group_results.append(result)
+        return stitch_groups(self.query, per_group_results, aggregate_indices_per_group)
+
+    def finalize_kmeans(self) -> KMeansOutcome | None:
+        """Merge all received Computer knowledges into final centroids.
+
+        Knowledges whose k differs (Computers on starved partitions cap
+        k at their point count) cannot be barycenter-matched; the
+        combiner keeps the most common k and drops the rest.
+        """
+        if not self.knowledges:
+            return None
+        ordered = [self.knowledges[i] for i in sorted(self.knowledges)]
+        k_counts: dict[int, int] = {}
+        for knowledge in ordered:
+            k_counts[knowledge.k] = k_counts.get(knowledge.k, 0) + 1
+        dominant_k = max(k_counts, key=lambda k: (k_counts[k], k))
+        ordered = [kn for kn in ordered if kn.k == dominant_k]
+        merged = ordered[0]
+        if len(ordered) > 1:
+            merged = merge_knowledge(ordered[0], ordered[1:])
+        return KMeansOutcome(
+            centroids=merged.centroids,
+            weights=merged.weights,
+            knowledges_merged=len(ordered),
+        )
+
+
+def stitch_groups(
+    query: GroupByQuery,
+    per_group: list[GroupingSetsResult],
+    aggregate_indices_per_group: list[list[int]],
+) -> GroupingSetsResult:
+    """Assemble per-vertical-group results into one result row set."""
+    import json as _json
+
+    stitched_sets: list[tuple[dict[str, Any], ...]] = []
+    for set_index, grouping_set in enumerate(query.grouping_sets):
+        merged_rows: dict[str, dict[str, Any]] = {}
+        for group_index, result in enumerate(per_group):
+            names = [
+                query.aggregates[i].output_name
+                for i in aggregate_indices_per_group[group_index]
+            ]
+            for row in result.per_set_rows[set_index]:
+                key = _json.dumps(
+                    [row.get(c) for c in grouping_set], separators=(",", ":")
+                )
+                target = merged_rows.setdefault(
+                    key, {c: row.get(c) for c in grouping_set}
+                )
+                for name in names:
+                    target[name] = row.get(name)
+        candidates = (merged_rows[key] for key in sorted(merged_rows))
+        # HAVING applies here: only now are all of a row's aggregates
+        # (possibly spread over vertical groups) present
+        ordered = tuple(
+            row
+            for row in candidates
+            if query.having is None or query.having.evaluate(row)
+        )
+        stitched_sets.append(ordered)
+    return GroupingSetsResult(query, tuple(stitched_sets))
+
+
+class CombinerRuntime:
+    """Drives the Computing Combiner and its Active Backup."""
+
+    role = OperatorRole.COMPUTING_COMBINER
+
+    def __init__(self, ctx: ExecutionContext, computer: "ComputerRuntime"):
+        self.ctx = ctx
+        self.computer = computer
+        self.states: dict[str, CombinerState] = {}
+        for name in COMBINER_NAMES:
+            self.states[name] = CombinerState(
+                name=name,
+                config=ctx.config,
+                n_groups=len(ctx.column_groups),
+                query=ctx.query,
+                extrapolate=ctx.extrapolate_lost,
+            )
+        self.stats_partials: dict[str, dict[int, PartialGroups]] = {
+            name: {} for name in COMBINER_NAMES
+        }
+
+    # -- recording -----------------------------------------------------------
+
+    def on_partial_result(self, device: Edgelet, payload: dict[str, Any]) -> None:
+        """Record one inbound partial (aggregate or cluster-stats)."""
+        op_id = payload.get("op_id", "")
+        state = self.states.get(op_id)
+        if state is None:
+            return
+        partial = PartialGroups.from_dict(payload["partial"])
+        if payload.get("stats"):
+            self.stats_partials[op_id][payload["partition_index"]] = partial
+            return
+        state.record_partial(
+            payload["partition_index"], payload["group_index"], partial
+        )
+        self.ctx.m_partials.inc()
+
+    def on_knowledge(self, device: Edgelet, payload: dict[str, Any]) -> None:
+        """Record one inbound Computer knowledge (kmeans kind)."""
+        if self.ctx.network.is_dead(device.device_id):
+            return
+        knowledge = CentroidKnowledge.from_payload(payload["knowledge"])
+        self.states[payload["op_id"]].record_knowledge(
+            payload["partition_index"], knowledge
+        )
+        self.ctx.m_knowledges.inc()
+
+    # -- combination ---------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Deadline: both combiners merge and ship the final result."""
+        ctx = self.ctx
+        ctx.mark_combination_start()
+        for name in COMBINER_NAMES:
+            combiner_op = ctx.plan.operator(name)
+            device = ctx.device_of(combiner_op)
+            if not ctx.network.is_online(device.device_id):
+                ctx.trace(f"{name} offline at deadline")
+                continue
+            state = self.states[name]
+            if ctx.kind == "aggregate":
+                with ctx.prof_combine:
+                    result = state.finalize_aggregate(
+                        self.computer.aggregate_indices_per_group
+                    )
+                if result is None:
+                    ctx.trace(f"{name}: no partitions received, cannot finalize")
+                    continue
+                payload: dict[str, Any] = {
+                    "__aggregate__": True,
+                    "combiner": name,
+                    "tally": state.tally_summary(),
+                    "rows": [list(rows) for rows in result.per_set_rows],
+                }
+            else:
+                with ctx.prof_combine:
+                    outcome = state.finalize_kmeans()
+                if outcome is None:
+                    ctx.trace(f"{name}: no knowledges received, cannot finalize")
+                    continue
+                if ctx.stats_query is not None and name == "combiner":
+                    # launch the Group-By-on-clusters round: ship the
+                    # final centroids back to every Computer
+                    for computer in self.computer.computers:
+                        target = ctx.device_of(computer)
+                        ctx.ship(
+                            device, target, MessageKind.KNOWLEDGE,
+                            {
+                                "__aggregate__": True,
+                                "op_id": computer.op_id,
+                                "final_centroids": outcome.centroids.tolist(),
+                            },
+                            size_hint=512,
+                        )
+                payload = {
+                    "__aggregate__": True,
+                    "combiner": name,
+                    "tally": state.tally_summary(),
+                    "centroids": outcome.centroids.tolist(),
+                    "weights": outcome.weights.tolist(),
+                    "knowledges_merged": outcome.knowledges_merged,
+                }
+            ctx.audit(device, name, "combine", 0)
+            querier_op = ctx.plan.operators(OperatorRole.QUERIER)[0]
+            querier_device = ctx.device_of(querier_op)
+            ctx.ship(
+                device, querier_device, MessageKind.FINAL_RESULT, payload,
+                size_hint=1024,
+            )
+            ctx.trace(f"{name} sent final result to querier")
+
+    def finalize_stats(self) -> None:
+        """Combiners merge the per-cluster statistics and ship them."""
+        ctx = self.ctx
+        if ctx.stats_query is None:
+            return
+        for name in COMBINER_NAMES:
+            device = ctx.device_of(ctx.plan.operator(name))
+            if not ctx.network.is_online(device.device_id):
+                continue
+            partials = self.stats_partials[name]
+            if not partials:
+                continue
+            merged = merge_partials(
+                ctx.stats_query,
+                (partials[key] for key in sorted(partials)),
+            )
+            result = finalize_partials(ctx.stats_query, merged)
+            querier_device = ctx.device_of(
+                ctx.plan.operators(OperatorRole.QUERIER)[0]
+            )
+            ctx.ship(
+                device, querier_device, MessageKind.FINAL_RESULT,
+                {
+                    "__aggregate__": True,
+                    "combiner": name,
+                    "stats_rows": [list(rows) for rows in result.per_set_rows],
+                },
+                size_hint=1024,
+            )
+            ctx.trace(f"{name} sent cluster statistics to querier")

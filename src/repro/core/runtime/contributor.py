@@ -1,0 +1,81 @@
+"""Data Contributor runtime: jittered, possibly-repeated contributions.
+
+Each Data Contributor filters/projects its own rows inside its TEE and
+ships them (sealed) to its hash-assigned Snapshot Builder — and, under
+the Backup strategy, to every passive replica of that builder (the plan
+wires one dataflow edge per rank, so the same closure serves both
+strategies).
+"""
+
+from __future__ import annotations
+
+from repro.core.qep import OperatorRole
+from repro.core.runtime.context import ExecutionContext
+from repro.core.runtime.report import ExecutionError
+from repro.network.messages import MessageKind
+
+__all__ = ["ContributorRuntime"]
+
+
+class ContributorRuntime:
+    """Schedules every contributor's staggered transmissions."""
+
+    role = OperatorRole.DATA_CONTRIBUTOR
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+
+    def schedule_contributions(self) -> None:
+        """Arm one jittered send per contributor per configured copy."""
+        ctx = self.ctx
+        contributors = ctx.plan.operators(OperatorRole.DATA_CONTRIBUTOR)
+        predicate = None
+        if ctx.query is not None and ctx.query.where is not None:
+            where = ctx.query.where
+            predicate = lambda row: where.evaluate(row)
+        for leaf in contributors:
+            device = ctx.devices.get(leaf.params["device"])
+            if device is None:
+                raise ExecutionError(
+                    f"contributor device {leaf.params['device']} missing"
+                )
+            consumers = ctx.plan.consumers_of(leaf.op_id)
+            primary = [
+                c for c in consumers if c.params.get("backup_rank", 0) == 0
+            ]
+            if not primary:
+                continue
+            for copy_index in range(ctx.contribution_copies):
+                send_at = ctx.start_time + ctx.rng.uniform(
+                    0.0, ctx.collection_window * 0.6
+                )
+                ctx.simulator.schedule_at(
+                    send_at,
+                    self._make_contribution(device, consumers, predicate),
+                    f"contribute {device.device_id} (copy {copy_index})",
+                )
+
+    def _make_contribution(self, device, consumers, predicate):
+        ctx = self.ctx
+
+        def fire() -> None:
+            if not ctx.network.is_online(device.device_id):
+                return  # owner kept the device offline; no contribution
+            rows = device.contribute(predicate, ctx.collected_columns)
+            if not rows:
+                return
+            for consumer in consumers:
+                target = ctx.device_of(consumer)
+                ctx.ship(
+                    device,
+                    target,
+                    MessageKind.CONTRIBUTION,
+                    {
+                        "op_id": consumer.op_id,
+                        "partition_index": consumer.params["partition_index"],
+                        "contribution_id": f"{device.fingerprint}:{consumer.op_id}",
+                        "rows": rows,
+                    },
+                    size_hint=96 * len(rows),
+                )
+        return fire

@@ -1,0 +1,328 @@
+"""Thin execution coordinator over the per-role operator runtimes.
+
+:class:`ExecutionCoordinator` owns only the cross-cutting concerns of
+one query execution: handler attachment, sealed-payload unwrapping,
+message routing to the role runtimes, the phase timers (end of
+collection, combiner deadline, cluster-stats deadline), and the run
+horizon.  Everything role-specific lives in the runtimes
+(:mod:`repro.core.runtime.contributor` … :mod:`.querier`) and every
+resiliency decision lives in the pluggable
+:class:`repro.core.runtime.strategy.StrategyRuntime`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.backup import BackupChain
+from repro.core.qep import OperatorRole, QueryExecutionPlan
+from repro.core.runtime.builder import BuilderRuntime
+from repro.core.runtime.combiner import CombinerRuntime, CombinerState
+from repro.core.runtime.computer import ComputerRuntime
+from repro.core.runtime.context import ExecutionContext
+from repro.core.runtime.contributor import ContributorRuntime
+from repro.core.runtime.querier import QuerierRuntime
+from repro.core.runtime.report import ExecutionError, ExecutionReport
+from repro.core.runtime.strategy import (
+    BackupStrategy,
+    OvercollectionStrategy,
+    StrategyRuntime,
+)
+from repro.devices.edgelet import Edgelet
+from repro.ml.distributed_kmeans import CentroidKnowledge
+from repro.network.messages import Message, MessageKind
+from repro.network.opnet import OpportunisticNetwork
+from repro.network.simulator import Simulator
+
+__all__ = ["ExecutionCoordinator", "infer_strategy"]
+
+
+def infer_strategy(
+    plan: QueryExecutionPlan, takeover_timeout: float = 5.0
+) -> StrategyRuntime:
+    """Pick the strategy a plan's metadata asks for.
+
+    Backup mechanics apply only to aggregate plans planned with
+    ``strategy="backup"``; everything else (including K-Means, which
+    keeps its heartbeat cadence) runs under Overcollection.
+    """
+    metadata = plan.metadata
+    if metadata.get("strategy") == "backup" and metadata.get("kind") == "aggregate":
+        return BackupStrategy(takeover_timeout=takeover_timeout)
+    return OvercollectionStrategy()
+
+
+class ExecutionCoordinator:
+    """Executes one query plan across the simulated edgelet swarm.
+
+    Accepts the same arguments as the legacy ``EdgeletExecutor`` plus
+    ``strategy`` (a :class:`StrategyRuntime`; inferred from the plan
+    metadata when omitted) and ``takeover_timeout`` (used only by an
+    inferred :class:`BackupStrategy`).
+
+    Args:
+        simulator: the discrete-event clock shared with the network.
+        network: the opportunistic network the devices hang off.
+        devices: device_id -> :class:`Edgelet` for every participant.
+        plan: an assigned :class:`QueryExecutionPlan`.
+        collection_window: virtual seconds devoted to the collection
+            phase.
+        deadline: virtual time by which the Querier must be served.
+        secure_channels: seal every payload in an authenticated
+            envelope (realistic, slower) or ship plain payloads through
+            the same code paths (fast, for large-scale benches).
+        contribution_copies: how many times each contributor transmits
+            its contribution (staggered retransmissions improve delivery
+            on lossy links; builders deduplicate with a Bloom filter so
+            duplicates never skew the snapshot).
+        audit_ledger: optional
+            :class:`repro.manager.audit.AuditLedger`; when provided,
+            every processing step appends a signed, hash-chained record
+            (the evidence backing the Crowd Liability property).
+        telemetry: the :class:`repro.telemetry.Telemetry` to record
+            phase spans, counters, and profiles into; defaults to the
+            simulator's instance.
+        seed: randomness for contribution jitter.
+        strategy: resiliency policy; ``None`` infers from the plan.
+        takeover_timeout: replica stagger for an inferred backup
+            strategy.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: OpportunisticNetwork,
+        devices: dict[str, Edgelet],
+        plan: QueryExecutionPlan,
+        collection_window: float = 30.0,
+        deadline: float = 100.0,
+        secure_channels: bool = True,
+        extrapolate_lost: bool = True,
+        contribution_copies: int = 1,
+        audit_ledger: Any = None,
+        telemetry: Any = None,
+        seed: int = 0,
+        strategy: StrategyRuntime | None = None,
+        takeover_timeout: float = 5.0,
+    ):
+        self.ctx = ExecutionContext(
+            simulator=simulator,
+            network=network,
+            devices=devices,
+            plan=plan,
+            collection_window=collection_window,
+            deadline=deadline,
+            secure_channels=secure_channels,
+            extrapolate_lost=extrapolate_lost,
+            contribution_copies=contribution_copies,
+            audit_ledger=audit_ledger,
+            telemetry=telemetry,
+            seed=seed,
+        )
+        self.contributor = ContributorRuntime(self.ctx)
+        self.builder = BuilderRuntime(self.ctx)
+        self.computer = ComputerRuntime(self.ctx)
+        self.combiner = CombinerRuntime(self.ctx, self.computer)
+        self.querier = QuerierRuntime(self.ctx)
+        self.builder.index()
+        self.computer.index()
+        if strategy is None:
+            strategy = infer_strategy(plan, takeover_timeout=takeover_timeout)
+        self.strategy = strategy
+        self.strategy.bind(self.ctx, self.builder, self.computer)
+
+    # -- convenience views over the shared context ---------------------------
+
+    @property
+    def simulator(self) -> Simulator:
+        return self.ctx.simulator
+
+    @property
+    def network(self) -> OpportunisticNetwork:
+        return self.ctx.network
+
+    @property
+    def devices(self) -> dict[str, Edgelet]:
+        return self.ctx.devices
+
+    @property
+    def plan(self) -> QueryExecutionPlan:
+        return self.ctx.plan
+
+    @property
+    def report(self) -> ExecutionReport:
+        return self.ctx.report
+
+    @property
+    def telemetry(self) -> Any:
+        return self.ctx.telemetry
+
+    @property
+    def kind(self) -> str:
+        return self.ctx.kind
+
+    @property
+    def start_time(self) -> float:
+        return self.ctx.start_time
+
+    @property
+    def query(self):
+        return self.ctx.query
+
+    @property
+    def config(self):
+        return self.ctx.config
+
+    @property
+    def collect_end(self) -> float:
+        return self.ctx.collect_end
+
+    @property
+    def deadline_at(self) -> float:
+        return self.ctx.deadline_at
+
+    # -- public state accessors (chaos invariants, tests, benches) -----------
+
+    @property
+    def combiners(self) -> dict[str, CombinerState]:
+        """Both combiner states, keyed ``combiner``/``combiner-backup``."""
+        return self.combiner.states
+
+    @property
+    def aggregate_indices_per_group(self) -> list[list[int]]:
+        """Vertical-partitioning aggregate slices, one list per group."""
+        return self.computer.aggregate_indices_per_group
+
+    @property
+    def builder_rows(self) -> dict[int, list[dict[str, Any]]]:
+        """Primary builders' collected rows, keyed by partition index."""
+        return self.builder.rows_by_partition
+
+    @property
+    def takeover_log(self) -> list[tuple[float, str, int]]:
+        """(time, base op, rank) per replica takeover; empty without one."""
+        return getattr(self.strategy, "takeover_log", [])
+
+    @property
+    def chains(self) -> dict[str, BackupChain]:
+        """The backup replica chains (empty for overcollection runs)."""
+        return getattr(self.strategy, "chains", {})
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self) -> ExecutionReport:
+        """Execute the plan to the deadline and return the report."""
+        ctx = self.ctx
+        self.attach_handlers()
+        self.contributor.schedule_contributions()
+        ctx.simulator.schedule_at(
+            ctx.collect_end, self.end_collection, "end-collection"
+        )
+        if ctx.kind == "kmeans":
+            self.computer.schedule_heartbeats()
+        ctx.simulator.schedule_at(ctx.deadline_at, self.finalize, "combiner-deadline")
+        horizon = ctx.deadline_at + self.result_slack()
+        if ctx.stats_query is not None:
+            ctx.simulator.schedule_at(
+                ctx.deadline_at + 0.6 * self.stats_window(),
+                self.finalize_stats,
+                "cluster-stats-deadline",
+            )
+            horizon += self.stats_window()
+        ctx.simulator.run_until(horizon)
+        ctx.report.network_stats = ctx.network.stats.as_dict()
+        if ctx.span_combination is not None:
+            ctx.span_combination.finish(at=ctx.simulator.now)
+        ctx.span_execution.finish(at=ctx.simulator.now)
+        return ctx.report
+
+    def result_slack(self) -> float:
+        """Extra virtual time for the final-result message to land."""
+        return max(5.0, 0.1 * self.ctx.deadline)
+
+    def stats_window(self) -> float:
+        """Extra virtual time granted to the Group-By-on-clusters round."""
+        return max(10.0, 0.3 * self.ctx.deadline)
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach_handlers(self) -> None:
+        """Register one unwrap-and-dispatch handler per plan device."""
+        ctx = self.ctx
+        attached: set[str] = set()
+        for operator in ctx.plan.operators():
+            if operator.role == OperatorRole.DATA_CONTRIBUTOR:
+                device_id = operator.params["device"]
+            elif operator.assigned_to is not None:
+                device_id = operator.assigned_to
+            else:
+                continue
+            if device_id in attached:
+                continue
+            attached.add(device_id)
+            device = ctx.devices.get(device_id)
+            if device is None:
+                raise ExecutionError(f"unknown device {device_id} in plan")
+            ctx.network.attach(device_id, self.make_handler(device))
+
+    def make_handler(self, device: Edgelet):
+        """One device's receive path: unwrap, then route by kind."""
+        def handle(message: Message) -> None:
+            payload = self.ctx.unwrap(device, message)
+            if payload is None:
+                return
+            self.dispatch(device, message.kind, payload)
+        return handle
+
+    # -- message routing -----------------------------------------------------
+
+    def dispatch(self, device: Edgelet, kind: MessageKind, payload: Any) -> None:
+        """Route one unwrapped payload to the owning role runtime."""
+        ctx = self.ctx
+        if kind == MessageKind.CONTRIBUTION:
+            ctx.count_role_dispatch("snapshot_builder")
+            self.strategy.on_contribution(device, payload)
+        elif kind == MessageKind.PARTITION:
+            ctx.count_role_dispatch("computer")
+            self.strategy.on_partition(device, payload)
+        elif kind == MessageKind.PARTIAL_RESULT:
+            ctx.count_role_dispatch("computing_combiner")
+            self.combiner.on_partial_result(device, payload)
+        elif kind == MessageKind.KNOWLEDGE:
+            self._route_knowledge(device, payload)
+        elif kind == MessageKind.FINAL_RESULT:
+            ctx.count_role_dispatch("querier")
+            self.querier.on_final_result(device, payload)
+        elif kind == MessageKind.CONTROL:
+            ctx.count_role_dispatch("strategy")
+            self.strategy.on_control(device, payload)
+
+    def _route_knowledge(self, device: Edgelet, payload: dict[str, Any]) -> None:
+        """KNOWLEDGE fan-in: final centroids, combiner intake, or gossip."""
+        ctx = self.ctx
+        op_id = payload.get("op_id", "")
+        if "final_centroids" in payload:
+            ctx.count_role_dispatch("computer")
+            self.computer.on_final_centroids(device, payload)
+            return
+        if op_id in self.combiner.states:
+            ctx.count_role_dispatch("computing_combiner")
+            self.combiner.on_knowledge(device, payload)
+            return
+        ctx.count_role_dispatch("computer")
+        knowledge = CentroidKnowledge.from_payload(payload["knowledge"])
+        self.computer.on_peer_knowledge(op_id, knowledge)
+
+    # -- phase timers --------------------------------------------------------
+
+    def end_collection(self) -> None:
+        """The collection window closed; the strategy decides who fires."""
+        self.strategy.end_collection()
+
+    def finalize(self) -> None:
+        """The combiner deadline fired."""
+        self.combiner.finalize()
+
+    def finalize_stats(self) -> None:
+        """The Group-By-on-clusters deadline fired."""
+        self.combiner.finalize_stats()

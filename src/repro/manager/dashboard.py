@@ -12,7 +12,7 @@ execution.  This module renders the same information as text:
 
 from __future__ import annotations
 
-from repro.core.execution import ExecutionReport
+from repro.core.runtime import ExecutionReport
 from repro.core.qep import Operator, OperatorRole, QueryExecutionPlan
 from repro.manager.trace import phase_timeline
 

@@ -13,8 +13,6 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.assignment import assign_operators
-from repro.core.backup_execution import BackupExecutor
-from repro.core.execution import EdgeletExecutor, ExecutionReport
 from repro.core.liability import LiabilityReport, measure_liability
 from repro.core.planner import (
     EdgeletPlanner,
@@ -24,6 +22,7 @@ from repro.core.planner import (
 )
 from repro.core.privacy import ExposureReport, measure_exposure
 from repro.core.qep import OperatorRole, QueryExecutionPlan
+from repro.core.runtime import ExecutionCoordinator, ExecutionReport, infer_strategy
 from repro.devices.attestation import AttestationAuthority, AttestationError
 from repro.devices.edgelet import Edgelet
 from repro.devices.profiles import DeviceProfile, HOME_BOX, PC_SGX, SMARTPHONE
@@ -322,19 +321,15 @@ class Scenario:
         querier_op = plan.operators(OperatorRole.QUERIER)[0]
         querier_op.assigned_to = self.querier_device.device_id
 
-        executor_class = (
-            BackupExecutor
-            if plan.metadata.get("strategy") == "backup" and spec.kind == "aggregate"
-            else EdgeletExecutor
-        )
         scenario_span = self.telemetry.tracer.push(
             self.telemetry.tracer.start(
                 "scenario", at=self.simulator.now,
                 scenario_id=self.scenario_id, query_id=spec.query_id,
             )
         )
-        executor = executor_class(
+        executor = ExecutionCoordinator(
             simulator=self.simulator,
+            strategy=infer_strategy(plan),
             network=self.network,
             devices=self.devices,
             plan=plan,

@@ -7,7 +7,7 @@ information as text: a time-ordered event log and a phase timeline.
 
 from __future__ import annotations
 
-from repro.core.execution import ExecutionReport
+from repro.core.runtime import ExecutionReport
 
 __all__ = ["format_trace", "phase_timeline"]
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.execution import ExecutionReport
+from repro.core.runtime import ExecutionReport
 from repro.core.validity import ValidityReport, compare_results
 from repro.query.engine import CentralizedEngine
 from repro.query.groupby import GroupByQuery

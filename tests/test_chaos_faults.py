@@ -238,3 +238,140 @@ class TestNetworkIntegration:
             return log
 
         assert deliveries(install=False) == deliveries(install=True)
+
+
+class TestCorruptionDropTelemetry:
+    """Tampered envelopes must be counted, not silently swallowed.
+
+    Under secure channels a corrupted envelope fails authentication at
+    the TEE boundary and the payload is dropped.  The executor counts
+    every such drop in the ``executor.payloads_dropped`` counter
+    (labelled by reason) so corruption campaigns can assert the
+    rejection actually happened instead of inferring it from silence.
+    """
+
+    def _swarm(self, n_contributors=10, n_processors=12):
+        from repro.data.health import generate_health_rows
+        from repro.devices.edgelet import Edgelet
+        from repro.devices.profiles import PC_SGX
+
+        sim = Simulator()
+        quality = LinkQuality(
+            base_latency=0.05, latency_jitter=0.0, loss_probability=0.0
+        )
+        topology = ContactGraph(default_quality=quality)
+        net = OpportunisticNetwork(
+            sim, topology,
+            NetworkConfig(allow_relay=False, buffer_timeout=300.0,
+                          default_quality=quality),
+            seed=3,
+        )
+        rows = generate_health_rows(n_contributors * 2, seed=17)
+        contributors = []
+        for i in range(n_contributors):
+            device = Edgelet(
+                PC_SGX, device_id=f"cr-contrib-{i:03d}", seed=f"crc{i}".encode()
+            )
+            device.datastore.insert_many(rows[2 * i: 2 * i + 2])
+            contributors.append(device)
+        processors = [
+            Edgelet(PC_SGX, device_id=f"cr-proc-{i:03d}", seed=f"crp{i}".encode())
+            for i in range(n_processors)
+        ]
+        querier = Edgelet(PC_SGX, device_id="cr-querier", seed=b"crq")
+        devices = {d.device_id: d for d in [*contributors, *processors, querier]}
+        for device_id in devices:
+            topology.add_device(device_id)
+        return sim, net, devices, contributors, processors, querier, rows
+
+    def test_corrupted_envelopes_counted_as_dropped(self):
+        from repro.core.assignment import assign_operators
+        from repro.core.planner import (
+            EdgeletPlanner,
+            PrivacyParameters,
+            QuerySpec,
+            ResiliencyParameters,
+        )
+        from repro.core.qep import OperatorRole
+        from repro.core.runtime import ExecutionCoordinator
+        from repro.query.aggregates import AggregateSpec
+        from repro.query.groupby import GroupByQuery
+
+        sim, net, devices, contribs, procs, querier, rows = self._swarm()
+        query = GroupByQuery(
+            grouping_sets=((), ), aggregates=(AggregateSpec("count"),),
+        )
+        spec = QuerySpec(
+            query_id="corrupt-drop", kind="aggregate",
+            snapshot_cardinality=2 * len(rows), group_by=query,
+        )
+        planner = EdgeletPlanner(
+            privacy=PrivacyParameters(max_raw_per_edgelet=len(rows) + 1),
+            resiliency=ResiliencyParameters(fault_rate=0.1),
+        )
+        plan = planner.plan(spec, contributor_ids=[d.device_id for d in contribs])
+        assign_operators(plan, [d.device_id for d in procs], exclusive=False)
+        plan.operators(OperatorRole.QUERIER)[0].assigned_to = querier.device_id
+
+        # every PARTITION envelope is tampered in flight
+        net.install_faults(
+            MessageFaultInjector(
+                (FaultSpec(kinds=("partition",), corrupt_probability=1.0),),
+                seed=1,
+            )
+        )
+        executor = ExecutionCoordinator(
+            sim, net, devices, plan,
+            collection_window=15.0, deadline=60.0, secure_channels=True,
+        )
+        report = executor.run()
+
+        dropped = executor.telemetry.metrics.value(
+            "executor.payloads_dropped",
+            query=plan.query_id, reason="unauthenticated",
+        )
+        assert dropped > 0
+        # the receiving TEEs logged the rejection, and no Computer ever
+        # saw a clean partition, so the query cannot have succeeded
+        assert any("dropped unauthenticated" in line for _, line in report.trace)
+        assert not report.success
+
+    def test_clean_run_counts_zero_drops(self):
+        from repro.core.assignment import assign_operators
+        from repro.core.planner import (
+            EdgeletPlanner,
+            PrivacyParameters,
+            QuerySpec,
+            ResiliencyParameters,
+        )
+        from repro.core.qep import OperatorRole
+        from repro.core.runtime import ExecutionCoordinator
+        from repro.query.aggregates import AggregateSpec
+        from repro.query.groupby import GroupByQuery
+
+        sim, net, devices, contribs, procs, querier, rows = self._swarm()
+        query = GroupByQuery(
+            grouping_sets=((), ), aggregates=(AggregateSpec("count"),),
+        )
+        spec = QuerySpec(
+            query_id="corrupt-none", kind="aggregate",
+            snapshot_cardinality=2 * len(rows), group_by=query,
+        )
+        planner = EdgeletPlanner(
+            privacy=PrivacyParameters(max_raw_per_edgelet=len(rows) + 1),
+            resiliency=ResiliencyParameters(fault_rate=0.1),
+        )
+        plan = planner.plan(spec, contributor_ids=[d.device_id for d in contribs])
+        assign_operators(plan, [d.device_id for d in procs], exclusive=False)
+        plan.operators(OperatorRole.QUERIER)[0].assigned_to = querier.device_id
+
+        executor = ExecutionCoordinator(
+            sim, net, devices, plan,
+            collection_window=15.0, deadline=60.0, secure_channels=True,
+        )
+        report = executor.run()
+        assert report.success
+        assert executor.telemetry.metrics.value(
+            "executor.payloads_dropped",
+            query=plan.query_id, reason="unauthenticated",
+        ) == 0.0

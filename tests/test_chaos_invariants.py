@@ -217,7 +217,7 @@ class TestOnRealRuns:
         outcome = run_single(RunSpec(seed=4, tag="inv-dedup"))
         executor = outcome.result.executor
         assert any(
-            runtime.partials for runtime in executor._combiners.values()
+            runtime.partials for runtime in executor.combiners.values()
         )
         record = RunRecord(result=outcome.result, reference=outcome.reference)
         assert check_combiner_dedup(record) is None

@@ -1,0 +1,225 @@
+"""The legacy executor entrypoints survive the runtime refactor.
+
+``repro.core.execution.EdgeletExecutor`` and
+``repro.core.backup_execution.BackupExecutor`` are deprecated shims
+over :class:`repro.core.runtime.ExecutionCoordinator`; these tests pin
+down that (a) the old import paths still exist, (b) constructing them
+warns, (c) they still run a scenario end-to-end, and (d) they produce
+byte-identical results to the coordinator they wrap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import assign_operators
+from repro.core.planner import (
+    EdgeletPlanner,
+    PrivacyParameters,
+    QuerySpec,
+    ResiliencyParameters,
+)
+from repro.core.qep import OperatorRole
+from repro.core.runtime import (
+    BackupStrategy,
+    ExecutionCoordinator,
+    OvercollectionStrategy,
+)
+from repro.data.health import generate_health_rows
+from repro.devices.edgelet import Edgelet
+from repro.devices.profiles import PC_SGX
+from repro.network.opnet import NetworkConfig, OpportunisticNetwork
+from repro.network.simulator import Simulator
+from repro.network.topology import ContactGraph, LinkQuality
+from repro.query.aggregates import AggregateSpec
+from repro.query.groupby import GroupByQuery
+
+
+def _swarm(n_contributors=16, n_processors=18):
+    simulator = Simulator()
+    quality = LinkQuality(base_latency=0.05, latency_jitter=0.0, loss_probability=0.0)
+    topology = ContactGraph(default_quality=quality)
+    network = OpportunisticNetwork(
+        simulator, topology,
+        NetworkConfig(allow_relay=False, buffer_timeout=300.0, default_quality=quality),
+        seed=11,
+    )
+    rows = generate_health_rows(n_contributors * 2, seed=21)
+    contributors = []
+    for i in range(n_contributors):
+        device = Edgelet(PC_SGX, device_id=f"sh-contrib-{i:03d}", seed=f"shc{i}".encode())
+        device.datastore.insert_many(rows[2 * i: 2 * i + 2])
+        contributors.append(device)
+    processors = [
+        Edgelet(PC_SGX, device_id=f"sh-proc-{i:03d}", seed=f"shp{i}".encode())
+        for i in range(n_processors)
+    ]
+    querier = Edgelet(PC_SGX, device_id="sh-querier", seed=b"shq")
+    devices = {d.device_id: d for d in [*contributors, *processors, querier]}
+    for device_id in devices:
+        topology.add_device(device_id)
+    return simulator, network, devices, contributors, processors, querier, rows
+
+
+def _plan(contributors, processors, querier, rows, strategy="overcollection"):
+    query = GroupByQuery(
+        grouping_sets=(("region",), ()),
+        aggregates=(AggregateSpec("count"), AggregateSpec("avg", "age")),
+    )
+    spec = QuerySpec(
+        query_id=f"shim-{strategy}", kind="aggregate",
+        snapshot_cardinality=2 * len(rows), group_by=query,
+    )
+    resiliency = (
+        ResiliencyParameters(strategy="backup", backup_replicas=1)
+        if strategy == "backup"
+        else ResiliencyParameters(fault_rate=0.1)
+    )
+    planner = EdgeletPlanner(
+        privacy=PrivacyParameters(max_raw_per_edgelet=len(rows) + 1),
+        resiliency=resiliency,
+    )
+    plan = planner.plan(spec, contributor_ids=[d.device_id for d in contributors])
+    assign_operators(plan, [d.device_id for d in processors], exclusive=False)
+    plan.operators(OperatorRole.QUERIER)[0].assigned_to = querier.device_id
+    return plan
+
+
+def _report_fingerprint(report):
+    return (
+        report.success,
+        report.delivered_by,
+        report.completion_time,
+        report.tally,
+        None if report.result is None else report.result.per_set_rows,
+        sorted(report.tuples_per_device.items()),
+        report.trace,
+    )
+
+
+class TestEdgeletExecutorShim:
+    def test_old_import_paths_still_resolve(self):
+        from repro.core.execution import (  # noqa: F401
+            EdgeletExecutor,
+            ExecutionError,
+            ExecutionReport,
+            KMeansOutcome,
+            _CombinerRuntime,
+            _stitch_groups,
+        )
+        from repro.core.runtime import CombinerState, stitch_groups
+
+        assert _CombinerRuntime is CombinerState
+        assert _stitch_groups is stitch_groups
+
+    def test_constructing_shim_warns(self):
+        from repro.core.execution import EdgeletExecutor
+
+        sim, net, devices, contribs, procs, querier, rows = _swarm()
+        plan = _plan(contribs, procs, querier, rows)
+        with pytest.warns(DeprecationWarning, match="EdgeletExecutor is deprecated"):
+            EdgeletExecutor(
+                sim, net, devices, plan,
+                collection_window=15.0, deadline=60.0, secure_channels=False,
+            )
+
+    def test_shim_runs_scenario_end_to_end(self):
+        from repro.core.execution import EdgeletExecutor
+
+        sim, net, devices, contribs, procs, querier, rows = _swarm()
+        plan = _plan(contribs, procs, querier, rows)
+        with pytest.warns(DeprecationWarning):
+            executor = EdgeletExecutor(
+                sim, net, devices, plan,
+                collection_window=15.0, deadline=60.0, secure_channels=False,
+            )
+        assert isinstance(executor.strategy, OvercollectionStrategy)
+        report = executor.run()
+        assert report.success
+        assert report.result is not None
+
+    def test_shim_matches_coordinator_bit_for_bit(self):
+        from repro.core.execution import EdgeletExecutor
+
+        sim, net, devices, contribs, procs, querier, rows = _swarm()
+        plan = _plan(contribs, procs, querier, rows)
+        with pytest.warns(DeprecationWarning):
+            legacy = EdgeletExecutor(
+                sim, net, devices, plan,
+                collection_window=15.0, deadline=60.0, secure_channels=False,
+                seed=3,
+            ).run()
+
+        sim2, net2, devices2, contribs2, procs2, querier2, rows2 = _swarm()
+        plan2 = _plan(contribs2, procs2, querier2, rows2)
+        modern = ExecutionCoordinator(
+            sim2, net2, devices2, plan2,
+            collection_window=15.0, deadline=60.0, secure_channels=False,
+            seed=3, strategy=OvercollectionStrategy(),
+        ).run()
+
+        assert _report_fingerprint(legacy) == _report_fingerprint(modern)
+
+
+class TestBackupExecutorShim:
+    def test_constructing_shim_warns_and_runs(self):
+        from repro.core.backup_execution import BackupExecutor
+
+        sim, net, devices, contribs, procs, querier, rows = _swarm()
+        plan = _plan(contribs, procs, querier, rows, strategy="backup")
+        with pytest.warns(DeprecationWarning, match="BackupExecutor is deprecated"):
+            executor = BackupExecutor(
+                sim, net, devices, plan,
+                collection_window=15.0, deadline=60.0, secure_channels=False,
+                takeover_timeout=5.0,
+            )
+        assert isinstance(executor.strategy, BackupStrategy)
+        assert executor.chains  # replica chains indexed as before
+        report = executor.run()
+        assert report.success
+        assert executor.takeover_log == []  # no failures injected
+
+    def test_shim_matches_coordinator_bit_for_bit(self):
+        from repro.core.backup_execution import BackupExecutor
+
+        sim, net, devices, contribs, procs, querier, rows = _swarm()
+        plan = _plan(contribs, procs, querier, rows, strategy="backup")
+        victim = plan.operator("builder[0]").assigned_to
+        with pytest.warns(DeprecationWarning):
+            executor = BackupExecutor(
+                sim, net, devices, plan,
+                collection_window=15.0, deadline=80.0, secure_channels=False,
+                takeover_timeout=5.0, seed=3,
+            )
+        sim.schedule(1.0, lambda: net.kill(victim))
+        legacy = executor.run()
+        legacy_takeovers = list(executor.takeover_log)
+
+        sim2, net2, devices2, contribs2, procs2, querier2, rows2 = _swarm()
+        plan2 = _plan(contribs2, procs2, querier2, rows2, strategy="backup")
+        victim2 = plan2.operator("builder[0]").assigned_to
+        coordinator = ExecutionCoordinator(
+            sim2, net2, devices2, plan2,
+            collection_window=15.0, deadline=80.0, secure_channels=False,
+            takeover_timeout=5.0, seed=3,
+        )
+        assert isinstance(coordinator.strategy, BackupStrategy)  # inferred
+        sim2.schedule(1.0, lambda: net2.kill(victim2))
+        modern = coordinator.run()
+
+        assert _report_fingerprint(legacy) == _report_fingerprint(modern)
+        assert legacy_takeovers == coordinator.takeover_log
+        assert legacy_takeovers  # the killed builder really was taken over
+
+    def test_rejects_non_backup_plan(self):
+        from repro.core.backup_execution import BackupExecutor
+        from repro.core.execution import ExecutionError
+
+        sim, net, devices, contribs, procs, querier, rows = _swarm()
+        plan = _plan(contribs, procs, querier, rows)  # overcollection plan
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ExecutionError, match="backup-strategy plan"):
+                BackupExecutor(
+                    sim, net, devices, plan,
+                    collection_window=15.0, deadline=60.0, secure_channels=False,
+                )

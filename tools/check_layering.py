@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Import-layering check for the repro package.
+
+The dependency rule the runtime refactor enforces: ``repro.core`` is
+the bottom layer of the executable stack and must never import from the
+orchestration (``repro.manager``) or fault-injection (``repro.chaos``)
+layers above it — those import *down* into core.  A violation here is
+how the old executor monolith grew tangled in the first place, so the
+check runs in CI next to the chaos smoke job.
+
+Usage::
+
+    python tools/check_layering.py [--root src]
+
+Exits non-zero listing every offending ``module -> import`` edge.
+Both top-level ``import``/``from`` statements and imports deferred into
+function bodies count: a lazy import is still a layering violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+# package -> layers it must not reach into (even lazily)
+FORBIDDEN: dict[str, tuple[str, ...]] = {
+    "repro.core": ("repro.manager", "repro.chaos"),
+    "repro.network": ("repro.manager", "repro.chaos"),
+    "repro.query": ("repro.manager", "repro.chaos"),
+    "repro.devices": ("repro.manager", "repro.chaos"),
+}
+
+
+def module_name(path: Path, root: Path) -> str:
+    relative = path.relative_to(root).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def imported_modules(tree: ast.AST, module: str) -> list[str]:
+    """Every absolute module name the AST imports, lazy ones included."""
+    found: list[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import stays inside its package
+                continue
+            if node.module:
+                found.append(node.module)
+    return found
+
+
+def check(root: Path) -> list[str]:
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        module = module_name(path, root)
+        bans = tuple(
+            banned
+            for prefix, targets in FORBIDDEN.items()
+            if module == prefix or module.startswith(prefix + ".")
+            for banned in targets
+        )
+        if not bans:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for imported in imported_modules(tree, module):
+            for banned in bans:
+                if imported == banned or imported.startswith(banned + "."):
+                    violations.append(f"{module} -> {imported}  ({path})")
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default="src", help="source root (default: src)")
+    args = parser.parse_args()
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: source root {root} not found", file=sys.stderr)
+        return 2
+    violations = check(root)
+    if violations:
+        print("layering violations (lower layer importing an upper one):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print("layering ok: repro.core never imports repro.manager/repro.chaos")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
