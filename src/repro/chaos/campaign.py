@@ -107,6 +107,8 @@ class RunSpec:
     secure_channels: bool = False
     validity_tolerance: float = 0.75
     liability_max_share: float = 0.5
+    reliability: bool = False
+    phase_deadline: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         data = {
@@ -133,6 +135,8 @@ class RunSpec:
             "secure_channels": self.secure_channels,
             "validity_tolerance": self.validity_tolerance,
             "liability_max_share": self.liability_max_share,
+            "reliability": self.reliability,
+            "phase_deadline": self.phase_deadline,
         }
         return data
 
@@ -163,6 +167,12 @@ class RunSpec:
             secure_channels=bool(data.get("secure_channels", False)),
             validity_tolerance=float(data.get("validity_tolerance", 0.75)),
             liability_max_share=float(data.get("liability_max_share", 0.5)),
+            reliability=bool(data.get("reliability", False)),
+            phase_deadline=(
+                float(data["phase_deadline"])
+                if data.get("phase_deadline") is not None
+                else None
+            ),
         )
 
 
@@ -234,6 +244,8 @@ def run_single(spec: RunSpec, telemetry: Any = None) -> RunOutcome:
         scenario_tag=spec.tag,
         failure_plan=spec.failure_plan,
         fault_specs=spec.fault_specs or None,
+        reliability=spec.reliability,
+        phase_deadline=spec.phase_deadline,
     )
     query_spec = QuerySpec(
         query_id=f"{spec.tag}-q",
@@ -301,6 +313,8 @@ class CampaignConfig:
     secure_channels: bool = False
     validity_tolerance: float = 0.75
     liability_max_share: float = 0.5
+    reliability: bool = False
+    phase_deadline: float | None = None
     shrink: bool = True
     shrink_budget: int = 24
 
@@ -338,6 +352,8 @@ class CampaignConfig:
             secure_channels=self.secure_channels,
             validity_tolerance=self.validity_tolerance,
             liability_max_share=self.liability_max_share,
+            reliability=self.reliability,
+            phase_deadline=self.phase_deadline,
         )
 
 

@@ -122,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--message-loss", type=float, default=0.0)
     run.add_argument("--crash-probability", type=float, default=0.0)
     run.add_argument("--secure-channels", action="store_true")
+    run.add_argument("--reliability", action="store_true",
+                     help="enable ACK/retransmission transport and "
+                          "query-level recovery (watchdogs, reprovisioning, "
+                          "graceful degradation)")
+    run.add_argument("--phase-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="computation-phase deadline for the recovery "
+                          "watchdog (defaults to 85%% of the query deadline)")
     run.add_argument("--strategy", choices=("overcollection", "backup"),
                      default="overcollection")
     run.add_argument("--seed", type=int, default=0)
@@ -171,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default=(0.0, 0.002), metavar="P[,P...]",
                        help="per-device per-tick crash probabilities to sweep")
     chaos.add_argument("--disconnect-probability", type=float, default=0.0)
+    chaos.add_argument("--message-loss", type=float, default=0.0,
+                       help="per-message network loss probability")
+    chaos.add_argument("--reliability", action="store_true",
+                       help="run every scenario with the reliable transport "
+                            "and query-level recovery enabled")
+    chaos.add_argument("--phase-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="computation-phase deadline for the recovery "
+                            "watchdog")
     chaos.add_argument("--contributors", type=int, default=24)
     chaos.add_argument("--processors", type=int, default=20)
     chaos.add_argument("--rows", type=int, default=48)
@@ -255,6 +272,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         message_loss=args.message_loss,
         crash_probability=args.crash_probability,
         secure_channels=args.secure_channels,
+        reliability=args.reliability,
+        phase_deadline=args.phase_deadline,
         seed=args.seed,
     )
     telemetry = Telemetry()
@@ -399,6 +418,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         strategies=strategies,
         crash_probabilities=args.failure_probability,
         disconnect_probability=args.disconnect_probability,
+        message_loss=args.message_loss,
         fault_mixes=(fault_mix,),
         topologies=(
             TopologySpec(
@@ -409,6 +429,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ),
         backup_replicas=args.backup_replicas,
         validity_tolerance=args.validity_tolerance,
+        reliability=args.reliability,
+        phase_deadline=args.phase_deadline,
         shrink=not args.no_shrink,
         shrink_budget=args.shrink_budget,
     )

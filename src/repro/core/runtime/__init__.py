@@ -14,6 +14,7 @@ module                    owns
 :mod:`.combiner`          partial/knowledge merge algebra and finalize
 :mod:`.querier`           final-result dedup and report assembly
 :mod:`.strategy`          Overcollection / Backup resiliency policies
+:mod:`.recovery`          phase watchdogs and standby reprovisioning
 :mod:`.coordinator`       routing, dedup, phase timers, run horizon
 ========================  ==============================================
 
@@ -28,6 +29,7 @@ from repro.core.runtime.context import ExecutionContext
 from repro.core.runtime.contributor import ContributorRuntime
 from repro.core.runtime.coordinator import ExecutionCoordinator, infer_strategy
 from repro.core.runtime.querier import QuerierRuntime
+from repro.core.runtime.recovery import RecoveryConfig, RecoveryRuntime
 from repro.core.runtime.report import ExecutionError, ExecutionReport, KMeansOutcome
 from repro.core.runtime.strategy import (
     BackupStrategy,
@@ -49,6 +51,8 @@ __all__ = [
     "KMeansOutcome",
     "OvercollectionStrategy",
     "QuerierRuntime",
+    "RecoveryConfig",
+    "RecoveryRuntime",
     "StrategyRuntime",
     "commit_snapshot",
     "infer_strategy",

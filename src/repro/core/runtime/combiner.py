@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.overcollection import OvercollectionConfig, PartitionTally
 from repro.core.qep import OperatorRole
+from repro.core.validity import coverage_confidence, partial_validity_bound
 from repro.core.runtime.context import ExecutionContext
 from repro.core.runtime.report import ExecutionError, KMeansOutcome
 from repro.devices.edgelet import Edgelet
@@ -115,6 +116,69 @@ class CombinerState:
             per_group_results.append(result)
         return stitch_groups(self.query, per_group_results, aggregate_indices_per_group)
 
+    def finalize_partial(
+        self, aggregate_indices_per_group: list[list[int]]
+    ) -> tuple[GroupingSetsResult | None, dict[str, Any]]:
+        """Best-effort finalize over the covered vertical groups only.
+
+        The graceful-degradation path: vertical groups with zero
+        received partitions are *omitted* (their aggregate columns are
+        simply absent from the rows) rather than failing the whole
+        query.  Returns the partial result plus a coverage annotation;
+        ``(None, {})`` when nothing at all arrived.
+        """
+        if self.query is None:
+            raise ExecutionError("aggregate finalize without a query")
+        covered = [
+            g
+            for g in range(self.n_groups)
+            if self.group_tallies[g].received_count > 0
+        ]
+        if not covered:
+            return None, {}
+        per_group_results: list[GroupingSetsResult] = []
+        covered_indices: list[list[int]] = []
+        for group_index in covered:
+            tally = self.group_tallies[group_index]
+            group_query = GroupByQuery(
+                grouping_sets=self.query.grouping_sets,
+                aggregates=tuple(
+                    self.query.aggregates[i]
+                    for i in aggregate_indices_per_group[group_index]
+                ),
+            )
+            merged = merge_partials(
+                group_query,
+                (
+                    self.partials[(p, g)]
+                    for (p, g) in sorted(self.partials)
+                    if g == group_index
+                ),
+            )
+            result = finalize_partials(group_query, merged)
+            if self.extrapolate and tally.lost_count > 0:
+                result = result.scaled_counts(tally.scaling_factor())
+            per_group_results.append(result)
+            covered_indices.append(aggregate_indices_per_group[group_index])
+        # HAVING may reference aggregates of an uncovered group; with
+        # partial coverage the predicate is unevaluable and skipped
+        result = stitch_groups(
+            self.query,
+            per_group_results,
+            covered_indices,
+            apply_having=len(covered) == self.n_groups,
+        )
+        per_group_received = [t.received_count for t in self.group_tallies]
+        coverage = {
+            "groups_covered": len(covered),
+            "groups_total": self.n_groups,
+            "per_group_received": per_group_received,
+            "received_fraction": coverage_confidence(
+                per_group_received, self.config.total_partitions
+            ),
+        }
+        return result, coverage
+
     def finalize_kmeans(self) -> KMeansOutcome | None:
         """Merge all received Computer knowledges into final centroids.
 
@@ -144,6 +208,7 @@ def stitch_groups(
     query: GroupByQuery,
     per_group: list[GroupingSetsResult],
     aggregate_indices_per_group: list[list[int]],
+    apply_having: bool = True,
 ) -> GroupingSetsResult:
     """Assemble per-vertical-group results into one result row set."""
     import json as _json
@@ -171,7 +236,9 @@ def stitch_groups(
         ordered = tuple(
             row
             for row in candidates
-            if query.having is None or query.having.evaluate(row)
+            if not apply_having
+            or query.having is None
+            or query.having.evaluate(row)
         )
         stitched_sets.append(ordered)
     return GroupingSetsResult(query, tuple(stitched_sets))
@@ -238,11 +305,38 @@ class CombinerRuntime:
                 ctx.trace(f"{name} offline at deadline")
                 continue
             state = self.states[name]
+            degrade = ctx.recovery is not None and getattr(
+                ctx.recovery, "degrade", False
+            )
             if ctx.kind == "aggregate":
                 with ctx.prof_combine:
                     result = state.finalize_aggregate(
                         self.computer.aggregate_indices_per_group
                     )
+                degradation: dict[str, Any] = {}
+                if result is None and degrade:
+                    # graceful degradation: quorum unreachable for some
+                    # vertical group — emit what arrived, explicitly
+                    # labelled with coverage and a validity bound
+                    with ctx.prof_combine:
+                        result, coverage = state.finalize_partial(
+                            self.computer.aggregate_indices_per_group
+                        )
+                    if result is not None:
+                        degradation = {
+                            "degraded": True,
+                            "coverage": coverage,
+                            "validity_bound": partial_validity_bound(
+                                coverage["per_group_received"],
+                                state.config.total_partitions,
+                            ),
+                        }
+                        ctx.trace(
+                            f"{name}: quorum unreachable, emitting degraded "
+                            f"partial result "
+                            f"({coverage['groups_covered']}/"
+                            f"{coverage['groups_total']} groups covered)"
+                        )
                 if result is None:
                     ctx.trace(f"{name}: no partitions received, cannot finalize")
                     continue
@@ -251,6 +345,7 @@ class CombinerRuntime:
                     "combiner": name,
                     "tally": state.tally_summary(),
                     "rows": [list(rows) for rows in result.per_set_rows],
+                    **degradation,
                 }
             else:
                 with ctx.prof_combine:
@@ -280,6 +375,26 @@ class CombinerRuntime:
                     "weights": outcome.weights.tolist(),
                     "knowledges_merged": outcome.knowledges_merged,
                 }
+                summary = state.tally_summary()
+                if degrade and not summary["complete"]:
+                    # fewer knowledges than the validity condition asks
+                    # for: the clustering is still usable but partial —
+                    # label it instead of presenting it as complete
+                    received = summary["per_group_received"]
+                    payload.update(
+                        degraded=True,
+                        coverage={
+                            "groups_covered": sum(1 for r in received if r),
+                            "groups_total": len(received),
+                            "per_group_received": received,
+                            "received_fraction": coverage_confidence(
+                                received, state.config.total_partitions
+                            ),
+                        },
+                        validity_bound=partial_validity_bound(
+                            received, state.config.total_partitions
+                        ),
+                    )
             ctx.audit(device, name, "combine", 0)
             querier_op = ctx.plan.operators(OperatorRole.QUERIER)[0]
             querier_device = ctx.device_of(querier_op)

@@ -48,6 +48,8 @@ class ExecutionContext:
         audit_ledger: Any = None,
         telemetry: Any = None,
         seed: int = 0,
+        transport: Any = None,
+        recovery: Any = None,
     ):
         if contribution_copies < 1:
             raise ExecutionError("contribution_copies must be at least 1")
@@ -55,6 +57,13 @@ class ExecutionContext:
             raise ExecutionError("deadline must exceed the collection window")
         self.simulator = simulator
         self.network = network
+        # optional reliability overlay (repro.network.reliable); ``None``
+        # sends straight on the raw opportunistic network, bit-for-bit
+        # the legacy behaviour
+        self.transport = transport
+        # optional RecoveryConfig (repro.core.runtime.recovery); ``None``
+        # disables watchdogs, reprovisioning, and graceful degradation
+        self.recovery = recovery
         self.devices = devices
         self.plan = plan
         # All phase boundaries are relative to the execution's start
@@ -271,7 +280,8 @@ class ExecutionContext:
         else:
             wire_payload = payload
             size = max(size_hint, 64)
-        self.network.send(
+        transport = self.transport if self.transport is not None else self.network
+        transport.send(
             Message(
                 sender=sender.device_id,
                 recipient=recipient.device_id,
@@ -280,6 +290,11 @@ class ExecutionContext:
                 size_bytes=size,
             )
         )
+
+    def attach(self, device_id: str, handler: Any) -> None:
+        """Attach a device handler via the transport (or raw network)."""
+        transport = self.transport if self.transport is not None else self.network
+        transport.attach(device_id, handler)
 
     def unwrap(self, device: Edgelet, message: Message) -> Any | None:
         """Open a received payload; ``None`` means drop it (tampered).

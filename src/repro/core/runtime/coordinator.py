@@ -22,6 +22,7 @@ from repro.core.runtime.computer import ComputerRuntime
 from repro.core.runtime.context import ExecutionContext
 from repro.core.runtime.contributor import ContributorRuntime
 from repro.core.runtime.querier import QuerierRuntime
+from repro.core.runtime.recovery import RecoveryConfig, RecoveryRuntime
 from repro.core.runtime.report import ExecutionError, ExecutionReport
 from repro.core.runtime.strategy import (
     BackupStrategy,
@@ -86,6 +87,16 @@ class ExecutionCoordinator:
         strategy: resiliency policy; ``None`` infers from the plan.
         takeover_timeout: replica stagger for an inferred backup
             strategy.
+        transport: optional reliability overlay
+            (:class:`repro.network.reliable.ReliableTransport`); when
+            provided, every handler attach and every shipped payload
+            goes through it instead of the raw network.
+        recovery: optional :class:`RecoveryConfig` enabling phase
+            watchdogs, participant reprovisioning, and graceful
+            degradation; ``None`` keeps the legacy fail-hard behaviour.
+        standby_devices: ordered pool of device ids the watchdog may
+            re-recruit Computers from (typically the eligible
+            processors the assignment pass left unassigned).
     """
 
     def __init__(
@@ -104,6 +115,9 @@ class ExecutionCoordinator:
         seed: int = 0,
         strategy: StrategyRuntime | None = None,
         takeover_timeout: float = 5.0,
+        transport: Any = None,
+        recovery: RecoveryConfig | None = None,
+        standby_devices: list[str] | None = None,
     ):
         self.ctx = ExecutionContext(
             simulator=simulator,
@@ -118,6 +132,8 @@ class ExecutionCoordinator:
             audit_ledger=audit_ledger,
             telemetry=telemetry,
             seed=seed,
+            transport=transport,
+            recovery=recovery,
         )
         self.contributor = ContributorRuntime(self.ctx)
         self.builder = BuilderRuntime(self.ctx)
@@ -130,6 +146,16 @@ class ExecutionCoordinator:
             strategy = infer_strategy(plan, takeover_timeout=takeover_timeout)
         self.strategy = strategy
         self.strategy.bind(self.ctx, self.builder, self.computer)
+        self.recovery: RecoveryRuntime | None = None
+        if recovery is not None:
+            self.recovery = RecoveryRuntime(
+                self.ctx,
+                self.builder,
+                self.computer,
+                self.combiner,
+                standby_devices or [],
+                self.attach_device,
+            )
 
     # -- convenience views over the shared context ---------------------------
 
@@ -221,6 +247,8 @@ class ExecutionCoordinator:
         if ctx.kind == "kmeans":
             self.computer.schedule_heartbeats()
         ctx.simulator.schedule_at(ctx.deadline_at, self.finalize, "combiner-deadline")
+        if self.recovery is not None:
+            self.recovery.arm()
         horizon = ctx.deadline_at + self.result_slack()
         if ctx.stats_query is not None:
             ctx.simulator.schedule_at(
@@ -231,6 +259,8 @@ class ExecutionCoordinator:
             horizon += self.stats_window()
         ctx.simulator.run_until(horizon)
         ctx.report.network_stats = ctx.network.stats.as_dict()
+        if ctx.transport is not None:
+            ctx.report.transport_stats = ctx.transport.stats.as_dict()
         if ctx.span_combination is not None:
             ctx.span_combination.finish(at=ctx.simulator.now)
         ctx.span_execution.finish(at=ctx.simulator.now)
@@ -263,7 +293,21 @@ class ExecutionCoordinator:
             device = ctx.devices.get(device_id)
             if device is None:
                 raise ExecutionError(f"unknown device {device_id} in plan")
-            ctx.network.attach(device_id, self.make_handler(device))
+            self.attach_device(device)
+        if self.recovery is not None:
+            # standbys join the swarm up-front (idle but reachable), so
+            # the watchdog can see their liveness when re-recruiting
+            for device_id in self.recovery.standbys:
+                device = ctx.devices.get(device_id)
+                if device is None or device_id in attached:
+                    continue
+                attached.add(device_id)
+                self.attach_device(device)
+
+    def attach_device(self, device: Edgelet) -> None:
+        """Attach one device's receive path (transport-aware); also the
+        hook the recovery watchdog uses to wire re-recruited standbys."""
+        self.ctx.attach(device.device_id, self.make_handler(device))
 
     def make_handler(self, device: Edgelet):
         """One device's receive path: unwrap, then route by kind."""

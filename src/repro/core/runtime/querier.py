@@ -52,6 +52,11 @@ class QuerierRuntime:
         )
         ctx.report.tally = payload.get("tally", {})
         ctx.report.received_partitions = ctx.report.tally.get("received", 0)
+        if payload.get("degraded"):
+            # explicitly-labelled partial result (graceful degradation)
+            ctx.report.degraded = True
+            ctx.report.coverage = payload.get("coverage", {})
+            ctx.report.validity_bound = payload.get("validity_bound")
         if ctx.kind == "aggregate":
             per_set = tuple(
                 tuple(dict(row) for row in rows) for rows in payload["rows"]

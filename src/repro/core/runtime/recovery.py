@@ -1,0 +1,241 @@
+"""Query-level recovery: phase watchdogs and participant reprovisioning.
+
+The reliability transport (:mod:`repro.network.reliable`) hardens
+individual message deliveries; this module hardens the *query*.  A
+:class:`RecoveryRuntime` arms watchdog timers over the computation
+phase (each Fig. 2 phase already has a boundary on the virtual clock —
+``collect_end`` and ``deadline_at``; the watchdog adds an intermediate
+computation-phase deadline).  When a check finds a (partition, group)
+cell whose partial never reached any live combiner and whose assigned
+Computer is unreachable, it *reprovisions*: a standby device is
+re-recruited from the assignment pool, the operator is reassigned, and
+the Snapshot Builder re-ships the retained partition to it.
+
+Graceful degradation — the combiner emitting a partial, coverage- and
+bound-annotated ``FINAL_RESULT`` when quorum stays unreachable — is
+driven by the :class:`RecoveryConfig` here but implemented where the
+finalize logic lives (:mod:`repro.core.runtime.combiner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.runtime.builder import commit_snapshot, ship_partition
+from repro.core.runtime.context import ExecutionContext
+from repro.devices.edgelet import Edgelet
+
+if TYPE_CHECKING:
+    from repro.core.runtime.builder import BuilderRuntime
+    from repro.core.runtime.combiner import CombinerRuntime
+    from repro.core.runtime.computer import ComputerRuntime
+
+__all__ = ["RecoveryConfig", "RecoveryRuntime"]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Knobs of the query-level recovery layer.
+
+    Attributes:
+        watchdog_interval: virtual seconds between computation-phase
+            watchdog checks.
+        collection_grace: delay after the collection window closes
+            before the first check (partitions need time to ship).
+        reprovision: re-recruit standby Computers for unreachable ones.
+        max_reprovisions: total reprovisionings allowed per execution.
+        degrade: at the deadline, emit an explicitly-labelled partial
+            result instead of failing when some vertical group received
+            zero partitions.
+        phase_deadline: computation-phase deadline as an offset (virtual
+            seconds) from the execution start; ``None`` defaults to 85%
+            of the query deadline.  Watchdog checks stop there — past
+            it, recovery could no longer land a partial before the
+            combiner fires anyway.
+    """
+
+    watchdog_interval: float = 5.0
+    collection_grace: float = 1.0
+    reprovision: bool = True
+    max_reprovisions: int = 8
+    degrade: bool = True
+    phase_deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.watchdog_interval <= 0:
+            raise ValueError("watchdog_interval must be positive")
+        if self.collection_grace < 0:
+            raise ValueError("collection_grace must be non-negative")
+        if self.max_reprovisions < 0:
+            raise ValueError("max_reprovisions must be non-negative")
+        if self.phase_deadline is not None and self.phase_deadline <= 0:
+            raise ValueError("phase_deadline must be positive")
+
+
+class RecoveryRuntime:
+    """Arms the phase watchdogs and performs reprovisioning.
+
+    Standby candidates are consumed in the (deterministic) order the
+    assignment pool provides them, skipping any that are unreachable at
+    reprovision time.  Reprovisioning is an aggregate-path mechanism:
+    K-Means Computers carry iterative local state that a standby cannot
+    reconstruct mid-cadence, so kmeans runs only get the watchdog
+    telemetry, not reassignment.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        builder: "BuilderRuntime",
+        computer: "ComputerRuntime",
+        combiner: "CombinerRuntime",
+        standby_ids: list[str],
+        attach_device: Callable[[Edgelet], None],
+    ):
+        self.ctx = ctx
+        self.config: RecoveryConfig = ctx.recovery
+        self.builder = builder
+        self.computer = computer
+        self.combiner = combiner
+        self.standbys = [d for d in standby_ids if d in ctx.devices]
+        self.attach_device = attach_device
+        self.checks_run = 0
+        metrics = ctx.telemetry.metrics
+        query_id = ctx.plan.query_id
+        self._m_checks = metrics.counter("exec.watchdog_checks", query=query_id)
+        self._m_fired = metrics.counter(
+            "exec.watchdog_fired", query=query_id, phase="computation"
+        )
+        self._m_reprovisions = metrics.counter(
+            "exec.reprovisions", query=query_id
+        )
+
+    # -- scheduling ----------------------------------------------------------
+
+    def computation_deadline(self) -> float:
+        """Absolute virtual time the computation phase must finish by."""
+        offset = self.config.phase_deadline
+        if offset is None:
+            offset = 0.85 * self.ctx.deadline
+        return self.ctx.start_time + min(offset, self.ctx.deadline)
+
+    def arm(self) -> None:
+        """Schedule the computation-phase watchdog checks."""
+        ctx = self.ctx
+        first = ctx.collect_end + self.config.collection_grace
+        last = self.computation_deadline()
+        epoch = ctx.simulator.epoch
+        at = first
+        times = []
+        while at < last:
+            times.append(at)
+            at += self.config.watchdog_interval
+        times.append(last)
+        for when in times:
+            ctx.simulator.schedule_at(
+                when,
+                lambda: (
+                    self.check() if ctx.simulator.epoch == epoch else None
+                ),
+                "recovery-watchdog",
+            )
+
+    # -- the watchdog check --------------------------------------------------
+
+    def _received_cells(self) -> set[tuple[int, int]]:
+        """(partition, group) cells already at some live combiner."""
+        cells: set[tuple[int, int]] = set()
+        for name, state in self.combiner.states.items():
+            combiner_device = self.ctx.device_of(self.ctx.plan.operator(name))
+            if self.ctx.network.is_dead(combiner_device.device_id):
+                continue
+            cells.update(state.partials)
+            cells.update((p, 0) for p in state.knowledges)
+        return cells
+
+    def check(self) -> None:
+        """One watchdog pass: find starved cells, reprovision owners."""
+        ctx = self.ctx
+        if ctx.report.success:
+            return
+        self.checks_run += 1
+        self._m_checks.inc()
+        received = self._received_cells()
+        for operator in list(self.computer.computers):
+            cell = (
+                operator.params["partition_index"],
+                operator.params.get("group_index", 0),
+            )
+            if cell in received:
+                continue
+            device_id = operator.assigned_to
+            if device_id is None or ctx.network.is_online(device_id):
+                continue  # reachable: maybe just slow, leave it be
+            self._m_fired.inc()
+            ctx.trace(
+                f"watchdog: {operator.op_id} unreachable on {device_id}, "
+                f"cell {cell} missing"
+            )
+            if (
+                self.config.reprovision
+                and ctx.kind == "aggregate"
+                and len(ctx.report.reprovisions) < self.config.max_reprovisions
+            ):
+                self.reprovision(operator, cell)
+
+    # -- reprovisioning ------------------------------------------------------
+
+    def _next_standby(self) -> str | None:
+        while self.standbys:
+            candidate = self.standbys[0]
+            if self.ctx.network.is_online(candidate):
+                return self.standbys.pop(0)
+            self.standbys.pop(0)
+        return None
+
+    def reprovision(self, operator: Any, cell: tuple[int, int]) -> None:
+        """Re-recruit a standby device for one starved Computer cell."""
+        ctx = self.ctx
+        partition_index, _group_index = cell
+        builder_op = self.builder.builder_by_partition.get(partition_index)
+        rows = self.builder.rows_by_partition.get(partition_index)
+        if builder_op is None or not rows:
+            ctx.trace(
+                f"watchdog: no retained partition {partition_index}, "
+                f"cannot reprovision {operator.op_id}"
+            )
+            return
+        builder_device = ctx.device_of(builder_op)
+        if not ctx.network.is_online(builder_device.device_id):
+            ctx.trace(
+                f"watchdog: builder for partition {partition_index} "
+                f"unreachable, cannot reprovision {operator.op_id}"
+            )
+            return
+        new_id = self._next_standby()
+        if new_id is None:
+            ctx.trace(f"watchdog: no standby left for {operator.op_id}")
+            return
+        old_id = operator.assigned_to
+        operator.assigned_to = new_id
+        self.attach_device(ctx.devices[new_id])
+        # the cell's first-wins guard must forget the dead device's copy
+        # so the re-shipped partition actually executes
+        self.computer.partitions_seen.discard(cell)
+        ctx.report.reprovisions.append(
+            (ctx.simulator.now, operator.op_id, old_id or "?", new_id)
+        )
+        self._m_reprovisions.inc()
+        ctx.trace(
+            f"watchdog: reprovisioned {operator.op_id} "
+            f"from {old_id} to standby {new_id}"
+        )
+        ship_partition(
+            ctx,
+            builder_device,
+            partition_index,
+            rows,
+            commit_snapshot(rows),
+            [operator],
+        )

@@ -62,6 +62,20 @@ class ExecutionReport:
             (``execution``/``collection``/``computation``/
             ``combination``); consumed by
             :func:`repro.manager.trace.phase_timeline`.
+        degraded: the delivered result is *partial* — a combiner could
+            not reach quorum for every vertical group by the deadline
+            and emitted what it had, explicitly labelled (graceful
+            degradation, never silent).
+        coverage: for a degraded result, which groups were covered and
+            by how many partitions (``groups_covered``,
+            ``groups_total``, ``per_group_received``,
+            ``received_fraction``).
+        validity_bound: worst-case relative-error bound for a degraded
+            result, from :func:`repro.core.validity.partial_validity_bound`.
+        transport_stats: counters from the reliability layer, when one
+            was wired (retransmissions, ACKs, duplicate suppression...).
+        reprovisions: ``(time, op_id, old_device, new_device)`` per
+            watchdog-triggered participant reprovisioning.
     """
 
     query_id: str
@@ -79,3 +93,8 @@ class ExecutionReport:
     convergence_trace: list[tuple[int, float]] = field(default_factory=list)
     telemetry: Any = None
     phase_spans: dict[str, Any] = field(default_factory=dict)
+    degraded: bool = False
+    coverage: dict[str, Any] = field(default_factory=dict)
+    validity_bound: float | None = None
+    transport_stats: dict[str, float] = field(default_factory=dict)
+    reprovisions: list[tuple[float, str, str, str]] = field(default_factory=list)

@@ -18,7 +18,12 @@ from typing import Any
 
 from repro.query.groupby import GroupingSetsResult
 
-__all__ = ["ValidityReport", "compare_results"]
+__all__ = [
+    "ValidityReport",
+    "compare_results",
+    "coverage_confidence",
+    "partial_validity_bound",
+]
 
 
 @dataclass(frozen=True)
@@ -114,13 +119,58 @@ def _relative_error(expected: Any, actual: Any) -> float:
     return abs(actual_f - expected_f) / denominator
 
 
+def coverage_confidence(per_group_received: list[int], total_partitions: int) -> float:
+    """Fraction of the planned partition mass that actually arrived.
+
+    The per-vertical-group received counts are averaged over the planned
+    ``n + m`` partitions; 1.0 means full coverage, 0.0 means nothing
+    arrived anywhere.
+    """
+    if total_partitions <= 0 or not per_group_received:
+        return 0.0
+    mean_received = sum(per_group_received) / len(per_group_received)
+    return min(1.0, mean_received / total_partitions)
+
+
+def partial_validity_bound(
+    per_group_received: list[int], total_partitions: int
+) -> float:
+    """Worst-case relative-error bound for a degraded (partial) result.
+
+    Partitions are representative hash samples, so extrapolating a
+    group's counts/sums by ``(n + m) / r`` is unbiased; the residual
+    error is driven by cross-partition heterogeneity, which is bounded
+    (in the relative sense used by :func:`compare_results`) by the lost
+    partition mass over the received mass: ``(t - r) / r`` for the
+    worst-covered group, where ``t = n + m``.  A group with zero
+    received partitions makes the bound infinite — its aggregates are
+    simply absent from the degraded rows, which is why degraded results
+    carry this bound *and* the coverage annotation rather than either
+    alone.
+    """
+    covered = [r for r in per_group_received if r > 0]
+    if not covered or total_partitions <= 0:
+        return math.inf
+    worst = min(covered)
+    return (total_partitions - worst) / worst
+
+
 def compare_results(
-    centralized: GroupingSetsResult, distributed: GroupingSetsResult
+    centralized: GroupingSetsResult,
+    distributed: GroupingSetsResult,
+    ignore_missing_cells: bool = False,
 ) -> ValidityReport:
     """Compare a distributed result against the centralized oracle.
 
     Both results must come from the same logical query (same grouping
     sets and aggregates), otherwise ``ValueError``.
+
+    With ``ignore_missing_cells`` (the degraded-result mode) groups and
+    aggregate cells that the distributed side never produced — because a
+    whole vertical group's Computers were unreachable — are excluded
+    from the structural counts and the error statistics instead of
+    scoring as infinite error; the cells that *were* produced are still
+    held to the same relative-error accounting.
     """
     if centralized.query.grouping_sets != distributed.query.grouping_sets:
         raise ValueError("results come from different grouping sets")
@@ -137,10 +187,13 @@ def compare_results(
     for per_set_central, per_set_distributed in zip(central_index, distributed_index):
         central_keys = set(per_set_central)
         distributed_keys = set(per_set_distributed)
-        missing += len(central_keys - distributed_keys)
+        if not ignore_missing_cells:
+            missing += len(central_keys - distributed_keys)
         extra += len(distributed_keys - central_keys)
         for key in central_keys & distributed_keys:
             for name in central_names:
+                if ignore_missing_cells and name not in per_set_distributed[key]:
+                    continue
                 errors.append(
                     _relative_error(
                         per_set_central[key].get(name),

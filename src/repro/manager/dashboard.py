@@ -88,10 +88,21 @@ def render_plan(
 
 def render_report(report: ExecutionReport, result_rows: int = 5) -> str:
     """Render an execution report as a scoreboard."""
-    lines = [
-        f"Execution {report.query_id}: "
-        f"{'SUCCESS' if report.success else 'FAILURE'}",
-    ]
+    status = "SUCCESS" if report.success else "FAILURE"
+    if report.success and report.degraded:
+        status = "SUCCESS (DEGRADED)"
+    lines = [f"Execution {report.query_id}: {status}"]
+    if report.degraded:
+        coverage = report.coverage
+        bound = report.validity_bound
+        lines.append(
+            "  degraded: "
+            f"{coverage.get('groups_covered', '?')}"
+            f"/{coverage.get('groups_total', '?')} groups covered, "
+            f"received fraction "
+            f"{coverage.get('received_fraction', 0.0):.2f}, "
+            f"validity bound {bound if bound is None else f'{bound:.2f}'}"
+        )
     timeline = phase_timeline(report)
     lines.append(
         "  phases: collection end "
@@ -112,6 +123,22 @@ def render_report(report: ExecutionReport, result_rows: int = 5) -> str:
             f"  network: {report.network_stats.get('sent', 0):.0f} sent, "
             f"ratio {report.network_stats.get('delivery_ratio', 0.0):.2f}, "
             f"{report.network_stats.get('bytes_sent', 0):.0f} bytes"
+        )
+    if report.transport_stats:
+        stats = report.transport_stats
+        lines.append(
+            f"  reliability: {stats.get('retransmissions', 0):.0f} "
+            f"retransmissions, {stats.get('transfers_acked', 0):.0f} acked, "
+            f"{stats.get('duplicates_suppressed', 0):.0f} dups suppressed, "
+            f"{stats.get('transfers_failed', 0):.0f} failed"
+        )
+    if report.reprovisions:
+        lines.append(
+            f"  reprovisions: "
+            + ", ".join(
+                f"{op}→{new} (t={when:.1f})"
+                for when, op, _old, new in report.reprovisions
+            )
         )
     if report.result is not None:
         rows = report.result.all_rows()

@@ -83,6 +83,16 @@ class ScenarioConfig:
         fault_specs: optional tuple of
             :class:`~repro.chaos.faults.FaultSpec` message-fault rules
             installed on the network (seeded with ``seed + 3``).
+        reliability: wire the
+            :class:`~repro.network.reliable.ReliableTransport` overlay
+            (ACK/retransmission, adaptive timeouts, circuit breakers —
+            jitter RNG derived from ``seed + 4``) plus the query-level
+            :class:`~repro.core.runtime.recovery.RecoveryConfig`
+            (phase watchdogs, standby reprovisioning, graceful
+            degradation).
+        phase_deadline: computation-phase deadline offset forwarded to
+            the recovery layer (``None`` = 85% of the query deadline);
+            only meaningful with ``reliability``.
     """
 
     n_contributors: int
@@ -107,8 +117,12 @@ class ScenarioConfig:
     scenario_tag: str | None = None
     failure_plan: Any = None
     fault_specs: Any = None
+    reliability: bool = False
+    phase_deadline: float | None = None
 
     def __post_init__(self) -> None:
+        if self.phase_deadline is not None and self.phase_deadline <= 0:
+            raise ValueError("phase_deadline must be positive")
         if self.n_contributors <= 0:
             raise ValueError("n_contributors must be positive")
         if self.n_processors <= 0:
@@ -145,6 +159,8 @@ class ScenarioResult:
             the stochastic injector, in firing order.
         fault_injector: the message-fault injector, if one was
             installed (its decision log feeds the shrinker).
+        transport: the reliability overlay, when the scenario enabled
+            one (its receipts and stats feed tests and benches).
     """
 
     report: ExecutionReport
@@ -155,6 +171,7 @@ class ScenarioResult:
     executor: Any = None
     failure_events: list[Any] = field(default_factory=list)
     fault_injector: Any = None
+    transport: Any = None
 
 
 class Scenario:
@@ -321,6 +338,27 @@ class Scenario:
         querier_op = plan.operators(OperatorRole.QUERIER)[0]
         querier_op.assigned_to = self.querier_device.device_id
 
+        transport = None
+        recovery = None
+        standbys: list[str] = []
+        if self.config.reliability:
+            from repro.core.runtime.recovery import RecoveryConfig
+            from repro.network.reliable import ReliableTransport
+
+            transport = ReliableTransport(
+                self.network, seed=self.config.seed + 4,
+                telemetry=self.telemetry,
+            )
+            recovery = RecoveryConfig(phase_deadline=self.config.phase_deadline)
+            assigned = {
+                op.assigned_to for op in plan.operators() if op.assigned_to
+            }
+            # the re-recruitment pool: eligible processors the assignment
+            # pass left unassigned, in their (deterministic) pool order
+            standbys = [
+                d.device_id for d in eligible if d.device_id not in assigned
+            ]
+
         scenario_span = self.telemetry.tracer.push(
             self.telemetry.tracer.start(
                 "scenario", at=self.simulator.now,
@@ -338,6 +376,9 @@ class Scenario:
             secure_channels=self.config.secure_channels,
             telemetry=self.telemetry,
             seed=self.config.seed,
+            transport=transport,
+            recovery=recovery,
+            standby_devices=standbys,
         )
 
         if self.config.caregiver_period is not None:
@@ -387,6 +428,8 @@ class Scenario:
                 metrics.histogram("scenario.completion_time").observe(
                     report.completion_time - executor.start_time
                 )
+        if report.degraded:
+            metrics.counter("scenario.queries_degraded").inc()
         exposure = measure_exposure(plan, separated_pairs=separated_pairs)
         liability = measure_liability(plan, tuples_per_device=report.tuples_per_device)
         failure_events = list(scripted_events)
@@ -401,6 +444,7 @@ class Scenario:
             executor=executor,
             failure_events=failure_events,
             fault_injector=self.network.faults,
+            transport=transport,
         )
 
     def centralized_result(self, spec: QuerySpec):

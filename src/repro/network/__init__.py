@@ -12,7 +12,10 @@ will, crashes, message loss.  This package provides:
 * :mod:`repro.network.opnet` — the opportunistic network itself:
   store-and-forward delivery with latency/loss sampled per link;
 * :mod:`repro.network.failures` — fault injection (crash, transient
-  disconnection, powering devices off at will, message drops).
+  disconnection, powering devices off at will, message drops);
+* :mod:`repro.network.reliable` — opt-in end-to-end reliability layer
+  (per-kind delivery policies, ACK/retransmission, adaptive timeouts,
+  circuit breakers) on top of the unreliable substrate.
 """
 
 from repro.network.simulator import Event, Simulator
@@ -21,11 +24,18 @@ from repro.network.topology import ContactGraph, LinkQuality
 from repro.network.opnet import DeliveryReceipt, NetworkConfig, OpportunisticNetwork
 from repro.network.failures import FailureInjector, FailurePlan
 from repro.network.mobility import CaregiverRounds, ContactSchedule, RandomWaypointContacts
+from repro.network.reliable import (
+    DeliveryPolicy,
+    ReliabilityConfig,
+    ReliableTransport,
+    TransportReceipt,
+)
 
 __all__ = [
     "CaregiverRounds",
     "ContactGraph",
     "ContactSchedule",
+    "DeliveryPolicy",
     "DeliveryReceipt",
     "Event",
     "FailureInjector",
@@ -36,5 +46,8 @@ __all__ = [
     "NetworkConfig",
     "RandomWaypointContacts",
     "OpportunisticNetwork",
+    "ReliabilityConfig",
+    "ReliableTransport",
     "Simulator",
+    "TransportReceipt",
 ]

@@ -8,13 +8,10 @@ layer treats it as opaque.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["Message", "MessageKind"]
-
-_message_ids = itertools.count(1)
 
 
 class MessageKind(enum.Enum):
@@ -29,6 +26,7 @@ class MessageKind(enum.Enum):
     HEARTBEAT = "heartbeat"                # Clock cadence signal
     ATTESTATION = "attestation"            # Attestation protocol round
     CONTROL = "control"                    # Plan distribution and bookkeeping
+    ACK = "ack"                            # Transport-level acknowledgement
 
 
 @dataclass
@@ -41,10 +39,14 @@ class Message:
         kind: protocol role of this message.
         payload: opaque content (envelope, plan fragment, ...).
         size_bytes: wire size used by the latency model.
-        message_id: unique, monotonically increasing identifier.
+        message_id: unique, monotonically increasing identifier,
+            allocated per :class:`~repro.network.opnet.OpportunisticNetwork`
+            instance when the message is first sent (``None`` before).
         sent_at: virtual time when the message entered the network
             (filled by the network).
         delivered_at: virtual time of delivery, or ``None`` if dropped.
+        headers: transport-level metadata (e.g. the reliability layer's
+            ``transfer_id``); opaque to the network, never sealed.
     """
 
     sender: str
@@ -52,9 +54,10 @@ class Message:
     kind: MessageKind
     payload: Any
     size_bytes: int = 256
-    message_id: int = field(default_factory=lambda: next(_message_ids))
+    message_id: int | None = None
     sent_at: float | None = None
     delivered_at: float | None = None
+    headers: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -69,7 +72,8 @@ class Message:
 
     def describe(self) -> str:
         """One-line human-readable summary for execution traces."""
+        ident = "?" if self.message_id is None else self.message_id
         return (
-            f"#{self.message_id} {self.kind.value} "
+            f"#{ident} {self.kind.value} "
             f"{self.sender} -> {self.recipient} ({self.size_bytes}B)"
         )

@@ -13,6 +13,7 @@ because this layer gives no delivery guarantee.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -125,7 +126,12 @@ class OpportunisticNetwork:
         self.topology = topology
         self.config = config or NetworkConfig()
         self.stats = NetworkStats()
+        self._seed = seed
         self._rng = random.Random(seed)
+        # per-instance id stream: two networks in one process allocate
+        # identical id sequences, so fixed-seed runs replay byte-for-byte
+        self._message_ids = itertools.count(1)
+        self._epoch = 0
         self._handlers: dict[str, Handler] = {}
         self._online: dict[str, bool] = {}
         self._dead: set[str] = set()
@@ -195,8 +201,38 @@ class OpportunisticNetwork:
 
     # -- sending ------------------------------------------------------------
 
+    def reset(self) -> None:
+        """Return the network to its just-built state for a fresh run.
+
+        Mirrors :meth:`repro.network.simulator.Simulator.reset`: the
+        epoch fence guarantees that in-flight deliveries and expiry
+        timers scheduled before the reset become no-ops, so a reused
+        network never leaks buffered store-and-forward messages into the
+        next run.  Topology, attached handlers, and any installed fault
+        injector survive; dynamic state (online/dead flags, inboxes,
+        receipts, stats, the RNG, and the message-id stream) restarts so
+        a post-reset run is byte-identical to one on a fresh network.
+        """
+        self._epoch += 1
+        self.stats = NetworkStats()
+        self._rng = random.Random(self._seed)
+        self._message_ids = itertools.count(1)
+        self._dead.clear()
+        self._receipts.clear()
+        for device_id in self._handlers:
+            self._online[device_id] = True
+            self._inboxes[device_id] = []
+        self._g_buffered.set(0)
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter bumped by :meth:`reset` (the timer fence)."""
+        return self._epoch
+
     def send(self, message: Message) -> None:
         """Inject a message into the network (asynchronous, unreliable)."""
+        if message.message_id is None:
+            message.message_id = next(self._message_ids)
         message.sent_at = self.simulator.now
         self.stats.sent += 1
         self.stats.bytes_sent += message.size_bytes
@@ -273,9 +309,10 @@ class OpportunisticNetwork:
                 quality.sample_latency(message.size_bytes, self._rng)
                 for _ in range(hops)
             )
+            epoch = self._epoch
             self.simulator.schedule(
                 latency,
-                lambda: self._arrive(message),
+                lambda: self._arrive(message) if self._epoch == epoch else None,
                 description=f"deliver {message.describe()}",
             )
 
@@ -346,9 +383,14 @@ class OpportunisticNetwork:
         self._inboxes.setdefault(recipient, []).append((self.simulator.now, message))
         self._g_buffered.inc()
         if self.config.buffer_timeout is not None:
+            epoch = self._epoch
             self.simulator.schedule(
                 self.config.buffer_timeout,
-                lambda: self._expire(recipient, message),
+                lambda: (
+                    self._expire(recipient, message)
+                    if self._epoch == epoch
+                    else None
+                ),
                 description=f"expire {message.describe()}",
             )
 

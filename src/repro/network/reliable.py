@@ -1,0 +1,553 @@
+"""End-to-end reliability layer over the opportunistic network.
+
+The substrate (:mod:`repro.network.opnet`) is deliberately unreliable:
+per-link loss, store-and-forward timeouts, crashed peers.  The Edgelet
+strategies tolerate that with *overprovisioning* (extra partitions,
+replica chains, blind contribution copies).  This module adds the
+complementary transport-level defence — detect, retry, and give up with
+a receipt:
+
+* **Per-kind delivery policies.**  Each :class:`MessageKind` maps to a
+  :class:`DeliveryPolicy` — ``at_most_once`` (fire and forget, exactly
+  the raw opnet behaviour) or ``at_least_once`` (ACK-confirmed with
+  retransmission).  Defaults harden the result-bearing path
+  (contribution / partition / partial / final / checkpoint) and leave
+  the chatty cadence kinds (heartbeat, knowledge, control, ...) cheap.
+* **ACK-based retransmission** with exponential backoff and seeded
+  jitter drawn from a per-concern derived RNG, so enabling the layer
+  never perturbs the opnet or fault-injector RNG streams and fixed
+  seeds stay bit-for-bit reproducible.
+* **Adaptive timeouts.**  Per-link SRTT/RTTVAR estimation in the
+  Jacobson style, with Karn's rule (no samples from retransmitted
+  transfers); the retransmit timeout is ``srtt + 4 * rttvar`` clamped
+  to configured bounds.
+* **Per-link circuit breakers** that stop hammering a partitioned or
+  dead peer after consecutive failed transfers, and a global
+  **retransmission budget**; both failure modes surface as
+  :class:`TransportReceipt` records (drop-with-receipt, never silent).
+
+Everything runs on the virtual clock of the underlying network's
+simulator.  This module sits *below* ``repro.core`` in the layering:
+it must never import from it (enforced by ``tools/check_layering.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.network.messages import Message, MessageKind
+from repro.network.opnet import OpportunisticNetwork
+
+__all__ = [
+    "AT_LEAST_ONCE",
+    "AT_MOST_ONCE",
+    "CircuitBreaker",
+    "DeliveryPolicy",
+    "ReliabilityConfig",
+    "ReliableTransport",
+    "RttEstimator",
+    "TransportReceipt",
+    "TransportStats",
+]
+
+Handler = Callable[[Message], None]
+
+AT_MOST_ONCE = "at_most_once"
+AT_LEAST_ONCE = "at_least_once"
+
+TRANSFER_HEADER = "transfer_id"
+ATTEMPT_HEADER = "attempt"
+
+
+@dataclass(frozen=True)
+class DeliveryPolicy:
+    """How one message kind is delivered.
+
+    Attributes:
+        mode: ``at_most_once`` (raw opnet send) or ``at_least_once``
+            (ACK-confirmed, retransmitted until acknowledged or spent).
+        max_attempts: total transmissions per transfer, the original
+            send included.
+        backoff_factor: multiplier applied to the retransmit timeout on
+            every successive attempt (exponential backoff).
+        jitter_fraction: each armed timeout is stretched by up to this
+            fraction, sampled from the transport's derived jitter RNG,
+            to de-synchronise retransmission bursts.
+    """
+
+    mode: str = AT_MOST_ONCE
+    max_attempts: int = 4
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.mode not in (AT_MOST_ONCE, AT_LEAST_ONCE):
+            raise ValueError(f"unknown delivery mode {self.mode!r}")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0 <= self.jitter_fraction <= 1:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+
+
+def default_policies() -> dict[MessageKind, DeliveryPolicy]:
+    """The stock policy table (see DESIGN.md "Reliability & recovery").
+
+    Result-bearing kinds are acknowledged; cadence and gossip kinds —
+    which are periodic or redundant by construction — stay cheap.
+    """
+    confirmed = DeliveryPolicy(mode=AT_LEAST_ONCE)
+    return {
+        MessageKind.CONTRIBUTION: confirmed,
+        MessageKind.PARTITION: confirmed,
+        MessageKind.PARTIAL_RESULT: confirmed,
+        MessageKind.FINAL_RESULT: confirmed,
+        MessageKind.CHECKPOINT: confirmed,
+        MessageKind.KNOWLEDGE: DeliveryPolicy(),
+        MessageKind.HEARTBEAT: DeliveryPolicy(),
+        MessageKind.ATTESTATION: DeliveryPolicy(),
+        MessageKind.CONTROL: DeliveryPolicy(),
+        MessageKind.ACK: DeliveryPolicy(),
+    }
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Tunable knobs of the reliability layer.
+
+    Attributes:
+        policies: per-kind delivery policy overrides; kinds absent here
+            fall back to :func:`default_policies`.
+        initial_rto: retransmit timeout (virtual seconds) used on a link
+            before any RTT sample exists.
+        min_rto / max_rto: clamp bounds for the adaptive timeout, after
+            backoff is applied.
+        ack_size_bytes: wire size of an acknowledgement.
+        retransmit_budget: total retransmissions the transport may spend
+            across all transfers; ``None`` is unlimited.  Exhaustion
+            drops the transfer with a ``budget_exhausted`` receipt.
+        breaker_threshold: consecutive failed transfers on one link that
+            trip its circuit breaker open.
+        breaker_cooldown: virtual seconds an open breaker waits before
+            letting a probe transfer through (half-open).
+    """
+
+    policies: tuple[tuple[MessageKind, DeliveryPolicy], ...] = ()
+    initial_rto: float = 5.0
+    min_rto: float = 0.25
+    max_rto: float = 30.0
+    ack_size_bytes: int = 32
+    retransmit_budget: int | None = 1024
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.initial_rto <= 0 or self.min_rto <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.max_rto < self.min_rto:
+            raise ValueError("max_rto must be >= min_rto")
+        if self.ack_size_bytes <= 0:
+            raise ValueError("ack_size_bytes must be positive")
+        if self.retransmit_budget is not None and self.retransmit_budget < 0:
+            raise ValueError("retransmit_budget must be non-negative")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be non-negative")
+
+    def policy_for(self, kind: MessageKind) -> DeliveryPolicy:
+        """Resolve the delivery policy for a message kind."""
+        for candidate, policy in self.policies:
+            if candidate is kind:
+                return policy
+        return default_policies().get(kind, DeliveryPolicy())
+
+
+class RttEstimator:
+    """Jacobson-style smoothed RTT tracker for one directed link.
+
+    ``srtt`` and ``rttvar`` follow RFC 6298 gains (1/8 and 1/4); the
+    retransmit timeout is ``srtt + 4 * rttvar``, clamped to the
+    configured bounds.  Callers apply Karn's rule: samples are only fed
+    from transfers that were never retransmitted.
+    """
+
+    def __init__(self, config: ReliabilityConfig):
+        self._config = config
+        self.srtt: float | None = None
+        self.rttvar: float | None = None
+        self.samples = 0
+
+    def observe(self, sample: float) -> None:
+        """Fold one round-trip sample into the smoothed estimate."""
+        if sample < 0:
+            raise ValueError("rtt sample must be non-negative")
+        if self.srtt is None or self.rttvar is None:
+            self.srtt = sample
+            self.rttvar = sample / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.samples += 1
+
+    @property
+    def rto(self) -> float:
+        """Current retransmit timeout (before backoff)."""
+        if self.srtt is None or self.rttvar is None:
+            return self._config.initial_rto
+        raw = self.srtt + 4 * self.rttvar
+        return min(max(raw, self._config.min_rto), self._config.max_rto)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one directed link.
+
+    Closed by default; :meth:`record_failure` trips it open after the
+    configured threshold, and it stays open until the cooldown elapses,
+    after which one probe transfer is let through (half-open).  A
+    success closes it again; a failed probe re-opens it immediately.
+    """
+
+    def __init__(self, threshold: int, cooldown: float):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self.opened_count = 0
+        self._open_until: float | None = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._open_until is not None
+
+    def allows(self, now: float) -> bool:
+        """Whether a transfer may use the link right now."""
+        if self._open_until is None:
+            return True
+        return now >= self._open_until  # half-open probe
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._open_until = None
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold:
+            if self._open_until is None or now >= self._open_until:
+                self.opened_count += 1
+            self._open_until = now + self.cooldown
+
+
+@dataclass(frozen=True)
+class TransportReceipt:
+    """Terminal outcome of one at-least-once transfer."""
+
+    transfer_id: int
+    kind: str
+    sender: str
+    recipient: str
+    outcome: str  # "acked", "gave_up", "budget_exhausted",
+    #               "circuit_open", "peer_dead"
+    attempts: int
+    rtt: float | None = None
+
+
+class TransportStats:
+    """Aggregate counters maintained by the reliability layer."""
+
+    def __init__(self) -> None:
+        self.sent_at_most_once = 0
+        self.transfers_started = 0
+        self.transfers_acked = 0
+        self.transfers_failed = 0
+        self.retransmissions = 0
+        self.acks_sent = 0
+        self.stale_acks = 0
+        self.duplicates_suppressed = 0
+        self.rtt_samples = 0
+        self.circuit_fast_fails = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all counters for reports and dashboards."""
+        return dict(vars(self))
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one in-flight at-least-once transfer."""
+
+    transfer_id: int
+    template: Message
+    policy: DeliveryPolicy
+    attempts: int = 0
+    last_sent_at: float = 0.0
+    retransmitted: bool = False
+    done: bool = False
+
+
+class ReliableTransport:
+    """ACK/retransmission overlay sharing the opnet's send/attach API.
+
+    Drop-in for the network from the runtime's point of view: callers
+    use :meth:`attach` and :meth:`send` exactly as they would on the
+    :class:`OpportunisticNetwork`, and the transport transparently
+    acknowledges, deduplicates, and retransmits according to the
+    per-kind policy table.  All timers run on the network's simulator,
+    and all randomness (retransmit jitter) comes from a derived
+    per-concern RNG seeded as ``f"{seed}:reliable:jitter"``.
+    """
+
+    def __init__(
+        self,
+        network: OpportunisticNetwork,
+        config: ReliabilityConfig | None = None,
+        seed: int = 0,
+        telemetry: Any = None,
+    ):
+        self.network = network
+        self.simulator = network.simulator
+        self.config = config or ReliabilityConfig()
+        self.stats = TransportStats()
+        self._seed = seed
+        self._jitter_rng = random.Random(f"{seed}:reliable:jitter")
+        self._transfer_ids = itertools.count(1)
+        self._pending: dict[int, _Pending] = {}
+        self._seen: dict[str, set[int]] = {}
+        self._estimators: dict[tuple[str, str], RttEstimator] = {}
+        self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
+        self._receipts: list[TransportReceipt] = []
+        self._budget_left = self.config.retransmit_budget
+        if telemetry is None:
+            telemetry = network.telemetry
+        self.telemetry = telemetry
+        metrics = telemetry.metrics
+        self._m_retransmissions = metrics.counter("reliable.retransmissions")
+        self._m_acked = metrics.counter("reliable.transfers_acked")
+        self._m_failed = metrics.counter("reliable.transfers_failed")
+        self._m_acks_sent = metrics.counter("reliable.acks_sent")
+        self._m_duplicates = metrics.counter("reliable.duplicates_suppressed")
+        self._m_circuit = metrics.counter("reliable.circuit_fast_fails")
+        self._h_rtt = metrics.histogram("reliable.rtt")
+
+    # -- public API (opnet-compatible) --------------------------------------
+
+    def attach(self, device_id: str, handler: Handler) -> None:
+        """Register a device; its handler sees deduplicated app traffic."""
+        self.network.attach(device_id, self._make_receiver(device_id, handler))
+
+    def send(self, message: Message) -> None:
+        """Send under the kind's policy (never blocks)."""
+        policy = self.config.policy_for(message.kind)
+        if policy.mode == AT_MOST_ONCE or message.kind is MessageKind.ACK:
+            self.stats.sent_at_most_once += 1
+            self.network.send(message)
+            return
+        transfer_id = next(self._transfer_ids)
+        message.headers[TRANSFER_HEADER] = transfer_id
+        pending = _Pending(
+            transfer_id=transfer_id, template=message, policy=policy
+        )
+        self._pending[transfer_id] = pending
+        self.stats.transfers_started += 1
+        self._transmit(pending)
+
+    def reset(self) -> None:
+        """Clear transfer state alongside an opnet/simulator reset."""
+        self.stats = TransportStats()
+        self._jitter_rng = random.Random(f"{self._seed}:reliable:jitter")
+        self._transfer_ids = itertools.count(1)
+        self._pending.clear()
+        self._seen.clear()
+        self._estimators.clear()
+        self._breakers.clear()
+        self._receipts.clear()
+        self._budget_left = self.config.retransmit_budget
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def receipts(self) -> list[TransportReceipt]:
+        """Terminal receipts for every finished at-least-once transfer."""
+        return list(self._receipts)
+
+    @property
+    def pending_count(self) -> int:
+        """Transfers still awaiting acknowledgement."""
+        return sum(1 for p in self._pending.values() if not p.done)
+
+    def rto_for(self, sender: str, recipient: str) -> float:
+        """Current adaptive timeout of a directed link (before backoff)."""
+        return self._estimator((sender, recipient)).rto
+
+    def breaker_for(self, sender: str, recipient: str) -> CircuitBreaker:
+        """The circuit breaker guarding a directed link."""
+        return self._breaker((sender, recipient))
+
+    # -- internals ----------------------------------------------------------
+
+    def _estimator(self, link: tuple[str, str]) -> RttEstimator:
+        estimator = self._estimators.get(link)
+        if estimator is None:
+            estimator = self._estimators[link] = RttEstimator(self.config)
+        return estimator
+
+    def _breaker(self, link: tuple[str, str]) -> CircuitBreaker:
+        breaker = self._breakers.get(link)
+        if breaker is None:
+            breaker = self._breakers[link] = CircuitBreaker(
+                self.config.breaker_threshold, self.config.breaker_cooldown
+            )
+        return breaker
+
+    def _make_receiver(self, device_id: str, handler: Handler) -> Handler:
+        def receive(message: Message) -> None:
+            if message.kind is MessageKind.ACK:
+                self._on_ack(message)
+                return
+            transfer_id = message.headers.get(TRANSFER_HEADER)
+            if transfer_id is None:
+                handler(message)
+                return
+            # acknowledge first (even duplicates: the earlier ACK may
+            # have been lost, which is why the sender retransmitted)
+            self._send_ack(device_id, message.sender, transfer_id)
+            seen = self._seen.setdefault(device_id, set())
+            if transfer_id in seen:
+                self.stats.duplicates_suppressed += 1
+                self._m_duplicates.inc()
+                return
+            seen.add(transfer_id)
+            handler(message)
+
+        return receive
+
+    def _send_ack(self, device_id: str, peer: str, transfer_id: int) -> None:
+        # ACKs carry only the transfer id — no application data leaves
+        # the sealed payload path through them
+        self.stats.acks_sent += 1
+        self._m_acks_sent.inc()
+        self.network.send(
+            Message(
+                sender=device_id,
+                recipient=peer,
+                kind=MessageKind.ACK,
+                payload={TRANSFER_HEADER: transfer_id},
+                size_bytes=self.config.ack_size_bytes,
+            )
+        )
+
+    def _on_ack(self, message: Message) -> None:
+        payload = message.payload
+        transfer_id = (
+            payload.get(TRANSFER_HEADER) if isinstance(payload, dict) else None
+        )
+        pending = self._pending.get(transfer_id) if transfer_id else None
+        if pending is None or pending.done:
+            self.stats.stale_acks += 1
+            return
+        pending.done = True
+        link = (pending.template.sender, pending.template.recipient)
+        self._breaker(link).record_success()
+        rtt = None
+        if not pending.retransmitted:  # Karn's rule
+            rtt = self.simulator.now - pending.last_sent_at
+            self._estimator(link).observe(rtt)
+            self.stats.rtt_samples += 1
+            self._h_rtt.observe(rtt)
+        self.stats.transfers_acked += 1
+        self._m_acked.inc()
+        self._finish(pending, "acked", rtt=rtt)
+
+    def _transmit(self, pending: _Pending) -> None:
+        attempt = pending.attempts
+        pending.attempts += 1
+        pending.last_sent_at = self.simulator.now
+        template = pending.template
+        if attempt == 0:
+            wire = template
+        else:
+            wire = Message(
+                sender=template.sender,
+                recipient=template.recipient,
+                kind=template.kind,
+                payload=template.payload,
+                size_bytes=template.size_bytes,
+                headers=dict(template.headers),
+            )
+        wire.headers[ATTEMPT_HEADER] = attempt
+        self.network.send(wire)
+
+        link = (template.sender, template.recipient)
+        timeout = self._estimator(link).rto
+        timeout *= pending.policy.backoff_factor**attempt
+        timeout = min(max(timeout, self.config.min_rto), self.config.max_rto)
+        if pending.policy.jitter_fraction:
+            timeout *= 1 + (
+                pending.policy.jitter_fraction * self._jitter_rng.random()
+            )
+        epoch = self.simulator.epoch
+        transfer_id = pending.transfer_id
+        self.simulator.schedule(
+            timeout,
+            lambda: (
+                self._on_timeout(transfer_id)
+                if self.simulator.epoch == epoch
+                else None
+            ),
+            description=f"rto transfer#{transfer_id} attempt {attempt}",
+        )
+
+    def _on_timeout(self, transfer_id: int) -> None:
+        pending = self._pending.get(transfer_id)
+        if pending is None or pending.done:
+            return
+        now = self.simulator.now
+        link = (pending.template.sender, pending.template.recipient)
+        breaker = self._breaker(link)
+        breaker.record_failure(now)
+        if pending.attempts >= pending.policy.max_attempts:
+            self._fail(pending, "gave_up")
+            return
+        if self.network.is_dead(pending.template.recipient):
+            self._fail(pending, "peer_dead")
+            return
+        if not breaker.allows(now):
+            self.stats.circuit_fast_fails += 1
+            self._m_circuit.inc()
+            self._fail(pending, "circuit_open")
+            return
+        if self._budget_left is not None and self._budget_left <= 0:
+            self._fail(pending, "budget_exhausted")
+            return
+        if self._budget_left is not None:
+            self._budget_left -= 1
+        pending.retransmitted = True
+        self.stats.retransmissions += 1
+        self._m_retransmissions.inc()
+        self._transmit(pending)
+
+    def _fail(self, pending: _Pending, outcome: str) -> None:
+        pending.done = True
+        self.stats.transfers_failed += 1
+        self._m_failed.inc()
+        self._finish(pending, outcome)
+
+    def _finish(
+        self, pending: _Pending, outcome: str, rtt: float | None = None
+    ) -> None:
+        template = pending.template
+        self._receipts.append(
+            TransportReceipt(
+                transfer_id=pending.transfer_id,
+                kind=template.kind.value,
+                sender=template.sender,
+                recipient=template.recipient,
+                outcome=outcome,
+                attempts=pending.attempts,
+                rtt=rtt,
+            )
+        )
+        self._pending.pop(pending.transfer_id, None)

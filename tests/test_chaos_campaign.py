@@ -68,6 +68,28 @@ class TestRunDeterminism:
         clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
         assert clone.to_dict() == spec.to_dict()
 
+    def test_reliability_fields_round_trip(self):
+        spec = RunSpec(seed=5, tag="rel", reliability=True, phase_deadline=42.0)
+        clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.reliability is True
+        assert clone.phase_deadline == 42.0
+
+    def test_reliability_defaults_for_old_artifacts(self):
+        # artifacts written before the reliability fields existed must
+        # still load, defaulting to the legacy (disabled) behaviour
+        data = RunSpec(seed=5, tag="old").to_dict()
+        del data["reliability"]
+        del data["phase_deadline"]
+        clone = RunSpec.from_dict(data)
+        assert clone.reliability is False
+        assert clone.phase_deadline is None
+
+    def test_reliability_spec_runs_under_heavy_loss(self):
+        spec = RunSpec(seed=11, tag="rel-run", message_loss=0.25, reliability=True)
+        outcome = run_single(spec)
+        assert outcome.violations == []
+        assert outcome.result.transport is not None
+
 
 class TestCampaign:
     def test_grid_sweeps_every_cell_and_stays_ok(self):
@@ -94,6 +116,16 @@ class TestCampaign:
         again = [config.spec_for(i).to_dict() for i in range(8)]
         assert specs == again
         assert len({spec["seed"] for spec in specs}) == 8
+
+    def test_reliability_campaign_survives_heavy_loss(self):
+        config = CampaignConfig(
+            seed=11, runs=4, strategies=("overcollection",),
+            crash_probabilities=(0.0,), message_loss=0.25,
+            reliability=True, validity_tolerance=1.5,
+        )
+        result = run_campaign(config, telemetry=Telemetry())
+        assert result.ok
+        assert all(o.spec.reliability for o in result.outcomes)
 
     def test_summary_rows_cover_all_cells(self):
         config = CampaignConfig(

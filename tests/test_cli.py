@@ -66,6 +66,18 @@ class TestCommands:
         assert "SUCCESS" in out
         assert "verification" in out
 
+    def test_run_with_reliability(self, capsys):
+        code = main([
+            "run", "--contributors", "30", "--processors", "15",
+            "--rows", "60", "--cardinality", "50", "--max-raw", "20",
+            "--seed", "3", "--message-loss", "0.2", "--reliability",
+            "--phase-deadline", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SUCCESS" in out
+        assert "reliability:" in out
+
     def test_run_with_plan_display(self, capsys):
         code = main([
             "run", "--contributors", "20", "--processors", "12",

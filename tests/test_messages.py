@@ -10,11 +10,47 @@ from repro.network.simulator import Simulator
 from repro.network.topology import ContactGraph, LinkQuality
 
 
+def _network():
+    simulator = Simulator()
+    quality = LinkQuality(base_latency=0.1, latency_jitter=0.0)
+    topology = ContactGraph(default_quality=quality)
+    topology.add_link("a", "b")
+    network = OpportunisticNetwork(
+        simulator, topology, NetworkConfig(default_quality=quality), seed=0
+    )
+    network.attach("a", lambda m: None)
+    network.attach("b", lambda m: None)
+    return simulator, network
+
+
 class TestMessage:
-    def test_ids_monotone(self):
+    def test_id_unassigned_until_sent(self):
+        message = Message(
+            sender="a", recipient="b", kind=MessageKind.CONTROL, payload=None
+        )
+        assert message.message_id is None
+        assert "#?" in message.describe()
+
+    def test_ids_monotone_per_network(self):
+        _, network = _network()
         a = Message(sender="a", recipient="b", kind=MessageKind.CONTROL, payload=None)
         b = Message(sender="a", recipient="b", kind=MessageKind.CONTROL, payload=None)
+        network.send(a)
+        network.send(b)
+        assert a.message_id == 1
         assert b.message_id > a.message_id
+
+    def test_ids_independent_across_networks(self):
+        # regression: ids used to come from a process-global counter, so
+        # a second network in the same process started where the first
+        # left off, breaking same-process two-run byte-identity
+        _, first = _network()
+        _, second = _network()
+        m1 = Message(sender="a", recipient="b", kind=MessageKind.CONTROL, payload=None)
+        m2 = Message(sender="a", recipient="b", kind=MessageKind.CONTROL, payload=None)
+        first.send(m1)
+        second.send(m2)
+        assert m1.message_id == m2.message_id == 1
 
     def test_describe(self):
         message = Message(

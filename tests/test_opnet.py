@@ -226,6 +226,99 @@ class TestBroadcast:
         assert received == {"b": "for-b", "c": "for-c", "d": "for-d"}
 
 
+class TestStoreAndForwardEdgeCases:
+    def test_zero_buffer_timeout_drops_immediately(self):
+        sim, topo, net = _network(buffer_timeout=0.0)
+        topo.add_link("a", "b")
+        received = []
+        net.attach("a", lambda m: None)
+        net.attach("b", received.append)
+        net.set_online("b", False)
+        net.send(_msg("a", "b"))
+        sim.run()
+        assert net.buffered_count("b") == 0
+        assert net.stats.dropped_timeout == 1
+        net.set_online("b", True)
+        assert received == []
+
+    def test_simultaneous_expiry_receipts_in_send_order(self):
+        sim, topo, net = _network(buffer_timeout=5.0)
+        topo.add_link("a", "b")
+        net.attach("a", lambda m: None)
+        net.attach("b", lambda m: None)
+        net.set_online("b", False)
+        first = _msg("a", "b", payload="first")
+        second = _msg("a", "b", payload="second")
+        net.send(first)
+        net.send(second)
+        sim.run()
+        expired = [r for r in net.receipts if r.outcome == "dropped_timeout"]
+        assert [r.message_id for r in expired] == [
+            first.message_id, second.message_id
+        ]
+
+    def test_partitioned_topology_has_no_route_even_with_relay(self):
+        sim, topo, net = _network(allow_relay=True)
+        # two disjoint cliques: {a, b} and {c, d}
+        topo.add_link("a", "b")
+        topo.add_link("c", "d")
+        for device in ("a", "b", "c", "d"):
+            net.attach(device, lambda m: None)
+        net.send(_msg("a", "c"))
+        sim.run()
+        assert net.stats.no_route == 1
+        assert net.stats.delivered == 0
+
+
+class TestReset:
+    def test_reset_clears_state_and_revives_devices(self):
+        sim, topo, net = _network()
+        topo.add_link("a", "b")
+        net.attach("a", lambda m: None)
+        net.attach("b", lambda m: None)
+        net.set_online("b", False)
+        net.send(_msg("a", "b"))
+        sim.run_until(2.0)
+        net.kill("a")
+        assert net.buffered_count("b") == 1
+        epoch = net.epoch
+        net.reset()
+        assert net.epoch == epoch + 1
+        assert net.stats.sent == 0
+        assert net.receipts == []
+        assert net.buffered_count("b") == 0
+        assert net.is_online("a") and net.is_online("b")
+        assert not net.is_dead("a")
+
+    def test_in_flight_messages_do_not_cross_a_reset(self):
+        sim, topo, net = _network()
+        topo.add_link("a", "b")
+        received = []
+        net.attach("a", lambda m: None)
+        net.attach("b", received.append)
+        net.send(_msg("a", "b"))
+        net.reset()  # before delivery: the epoch fence voids the event
+        sim.run()
+        assert received == []
+        assert net.receipts == []
+
+    def test_reset_restores_the_loss_stream(self):
+        def campaign(net, sim):
+            for i in range(50):
+                net.send(_msg("a", "b", payload=i))
+            sim.run()
+            return [(r.message_id, r.outcome) for r in net.receipts]
+
+        sim, topo, net = _network(loss=0.4)
+        topo.add_link("a", "b")
+        net.attach("a", lambda m: None)
+        net.attach("b", lambda m: None)
+        first = campaign(net, sim)
+        sim.reset()
+        net.reset()
+        assert campaign(net, sim) == first
+
+
 class TestValidation:
     def test_config_validation(self):
         with pytest.raises(ValueError):

@@ -30,6 +30,9 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
     "repro.network": ("repro.manager", "repro.chaos"),
     "repro.query": ("repro.manager", "repro.chaos"),
     "repro.devices": ("repro.manager", "repro.chaos"),
+    # the reliable transport is pure plumbing: it retries opaque
+    # payloads and must never learn about query execution semantics
+    "repro.network.reliable": ("repro.core",),
 }
 
 
