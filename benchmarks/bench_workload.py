@@ -1,0 +1,138 @@
+"""Q-LOAD — multi-query workload throughput and the latency knee.
+
+The workload engine multiplexes many concurrent queries over one shared
+swarm.  Two questions with demonstrable answers:
+
+* **Closed-loop capacity** — sweep the number of queries kept in
+  flight and watch throughput scale until the device pool saturates:
+  every in-flight query leases ~8 exclusive data-processor devices, so
+  the knee sits where ``in_flight x lease`` crosses the processor pool
+  and further arrivals are shed.  Latency stays flat up to the knee
+  (executions are independent — the serial-equivalence property made
+  measurable) and the knee throughput exceeds 1 query/s of virtual
+  time.
+* **Open-loop admission** — sweep the Poisson arrival rate past the
+  admission cap and watch the queue absorb bursts first, then the
+  shedder protect the swarm, with the conservation identity
+  ``shed + completed == arrivals`` holding at every operating point.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _tables import print_table
+
+from repro.telemetry import Telemetry
+from repro.workload import WorkloadEngine, WorkloadSpec
+
+N_CONTRIBUTORS = 30
+N_PROCESSORS = 260  # fits 32 concurrent leases of ~8 devices
+
+
+def _run_closed(in_flight: int, seed: int = 11):
+    spec = WorkloadSpec(
+        n_queries=2 * in_flight,
+        arrival_process="closed",
+        target_in_flight=in_flight,
+        max_concurrent=in_flight,
+        queue_capacity=0,
+        seed=seed,
+    )
+    engine = WorkloadEngine(
+        spec,
+        n_contributors=N_CONTRIBUTORS,
+        n_processors=N_PROCESSORS,
+        telemetry=Telemetry(),
+    )
+    return engine.run()
+
+
+def _run_open(rate: float, seed: int = 11):
+    spec = WorkloadSpec(
+        n_queries=24,
+        arrival_process="poisson",
+        arrival_rate=rate,
+        max_concurrent=8,
+        queue_capacity=8,
+        seed=seed,
+    )
+    engine = WorkloadEngine(
+        spec,
+        n_contributors=N_CONTRIBUTORS,
+        n_processors=N_PROCESSORS,
+        telemetry=Telemetry(),
+    )
+    return engine.run()
+
+
+def test_workload_closed_loop_knee(benchmark):
+    """Throughput scales with in-flight queries up to pool saturation."""
+    rows = []
+    points = []
+    for in_flight in (1, 2, 4, 8, 16, 24, 32, 40):
+        result = _run_closed(in_flight)
+        assert result.shed + result.completed == result.arrivals
+        p50 = result.latency_percentiles.get("p50", 0.0)
+        p95 = result.latency_percentiles.get("p95", 0.0)
+        rows.append([
+            in_flight, result.arrivals, result.completed, result.shed,
+            f"{result.elapsed:.1f}", f"{result.throughput:.3f}",
+            f"{p50:.2f}", f"{p95:.2f}", f"{result.utilization:.2%}",
+        ])
+        points.append((in_flight, result))
+
+    print_table(
+        "Q-LOAD: closed-loop capacity sweep "
+        f"({N_PROCESSORS} processors, ~8 exclusive leases per query)",
+        ["in flight", "queries", "completed", "shed", "elapsed (s)",
+         "throughput (q/s)", "p50 (s)", "p95 (s)", "utilization"],
+        rows,
+    )
+
+    # the knee: the largest in-flight level whose p95 latency is still
+    # within 20% of the uncontended (single-query) baseline
+    baseline_p95 = points[0][1].latency_percentiles["p95"]
+    at_knee = [
+        result
+        for _, result in points
+        if result.completed
+        and result.latency_percentiles["p95"] <= 1.2 * baseline_p95
+    ][-1]
+    print(
+        f"knee throughput: {at_knee.throughput:.3f} queries/s of virtual "
+        f"time (p95 within 20% of the solo baseline {baseline_p95:.2f}s)"
+    )
+    assert at_knee.throughput > 1.0
+
+    benchmark(lambda: _run_closed(4))
+
+
+def test_workload_open_loop_admission(benchmark):
+    """Queue absorbs bursts, shedder takes over past the cap."""
+    rows = []
+    sheds = []
+    for rate in (0.5, 1.0, 2.0, 5.0, 10.0):
+        result = _run_open(rate)
+        assert result.shed + result.completed == result.arrivals
+        p50 = result.latency_percentiles.get("p50", 0.0)
+        rows.append([
+            rate, result.arrivals, result.queued, result.shed,
+            result.completed, f"{result.throughput:.3f}", f"{p50:.2f}",
+        ])
+        sheds.append(result.shed)
+    print_table(
+        "Q-LOAD: open-loop admission sweep (cap 8, queue 8, 24 arrivals)",
+        ["rate (q/s)", "arrivals", "queued", "shed", "completed",
+         "throughput (q/s)", "p50 (s)"],
+        rows,
+    )
+    # shedding is monotone-ish in offered load: none when the swarm
+    # keeps up, inevitable once arrivals outrun the cap + queue
+    assert sheds[0] == 0
+    assert sheds[-1] > 0
+
+    benchmark(lambda: _run_open(2.0))

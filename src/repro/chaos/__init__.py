@@ -5,8 +5,10 @@ message-level fault injection on the opportunistic network
 (:mod:`~repro.chaos.faults`), executable Resiliency / Validity / Crowd
 Liability invariants (:mod:`~repro.chaos.invariants`), deterministic
 seeded campaign sweeps (:mod:`~repro.chaos.campaign`), failure-schedule
-shrinking (:mod:`~repro.chaos.shrink`), and replayable JSON repro
-artifacts (:mod:`~repro.chaos.artifact`).
+shrinking (:mod:`~repro.chaos.shrink`), replayable JSON repro
+artifacts (:mod:`~repro.chaos.artifact`), and chaos over concurrent
+multi-query workloads with per-query invariant verdicts
+(:mod:`~repro.chaos.workload`).
 """
 
 from repro.chaos.artifact import ReproArtifact
@@ -19,7 +21,7 @@ from repro.chaos.campaign import (
     run_campaign,
     run_single,
 )
-from repro.chaos.faults import (
+from repro.network.faults import (
     FaultDecision,
     FaultSpec,
     MessageFaultInjector,
@@ -33,6 +35,14 @@ from repro.chaos.invariants import (
     check_all,
 )
 from repro.chaos.shrink import failure_plan_from_events, shrink_failure_plan
+from repro.chaos.workload import (
+    QueryOutcome,
+    WorkloadChaosConfig,
+    WorkloadChaosOutcome,
+    run_workload,
+    shrink_workload_plan,
+    workload_failure_predicate,
+)
 
 __all__ = [
     "CampaignConfig",
@@ -41,17 +51,23 @@ __all__ = [
     "FaultSpec",
     "INVARIANTS",
     "MessageFaultInjector",
+    "QueryOutcome",
     "ReproArtifact",
     "RunOutcome",
     "RunRecord",
     "RunSpec",
     "TopologySpec",
     "Violation",
+    "WorkloadChaosConfig",
+    "WorkloadChaosOutcome",
     "check_all",
     "corrupt_payload",
     "failure_plan_from_events",
     "parse_fault_mix",
     "run_campaign",
     "run_single",
+    "run_workload",
     "shrink_failure_plan",
+    "shrink_workload_plan",
+    "workload_failure_predicate",
 ]

@@ -16,7 +16,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.chaos.faults import FaultSpec
+from repro.network.faults import FaultSpec
 from repro.chaos.invariants import RunRecord, Violation, check_all
 from repro.chaos.shrink import failure_plan_from_events, shrink_failure_plan
 from repro.core.planner import PrivacyParameters, QuerySpec, ResiliencyParameters

@@ -177,6 +177,13 @@ def check_validity(record: RunRecord) -> Violation | None:
     report = record.result.report
     if not report.success or report.result is None or record.reference is None:
         return None
+    tally = getattr(report, "tally", None)
+    if not record.clean and tally and not tally.get("valid", True):
+        # the combiner extrapolated past its own validity condition
+        # (lost > m) and the tally labels the result invalid: it was
+        # *not* delivered "as if it were right", so bounding its error
+        # is the consumer's job, not a violation
+        return None
     # a degraded report explicitly labels the cells it could not cover;
     # hold it to the bound only on the cells it did deliver
     comparison = compare_results(

@@ -11,7 +11,13 @@ A text substitute for the demonstration GUI.  Subcommands:
 * ``chaos`` — run a seeded chaos campaign (strategy x failure
   probability x fault mix), check the paper's property invariants
   after every run, and write shrunk JSON repro artifacts for any
-  violation; ``--replay PATH`` re-executes one artifact.
+  violation; ``--replay PATH`` re-executes one artifact;
+  ``--workload N`` chaoses a concurrent N-query workload instead and
+  checks every invariant per query;
+* ``workload`` — run a deterministic multi-query workload (open- or
+  closed-loop arrivals, admission control, exclusive device leases)
+  over one shared swarm; ``--serial-check`` verifies every query's
+  report is byte-identical to a solo replay.
 
 ``run`` and ``kmeans`` accept ``--metrics-out PATH`` to write the
 telemetry JSONL export and ``--telemetry`` to print the summary table
@@ -28,6 +34,9 @@ Examples::
     python -m repro.cli chaos --seed 7 --runs 25 --strategy both \
         --fault-mix "drop=0.05;partition:duplicate=0.2" --repro-out repro/
     python -m repro.cli chaos --replay repro/repro-validity-000.json
+    python -m repro.cli chaos --workload 8 --failure-probability 0.004
+    python -m repro.cli workload --queries 10 --arrival poisson --rate 2 \
+        --max-concurrent 4 --serial-check --per-query
 """
 
 from __future__ import annotations
@@ -202,12 +211,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip failure-schedule shrinking on violation")
     chaos.add_argument("--shrink-budget", type=int, default=24,
                        help="max scenario re-executions per shrink")
+    chaos.add_argument("--workload", type=int, default=None, metavar="N",
+                       help="chaos a concurrent N-query workload instead of "
+                            "sweeping single-query runs: faults hit the "
+                            "shared swarm while N queries are in flight, "
+                            "and every invariant is checked per query")
+    chaos.add_argument("--workload-max-concurrent", type=int, default=8,
+                       metavar="K",
+                       help="admission cap of the chaos workload")
     chaos.add_argument("--replay", metavar="PATH", default=None,
                        help="replay one repro artifact instead of sweeping")
     chaos.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write the telemetry JSONL export to PATH")
     chaos.add_argument("--telemetry", action="store_true",
                        help="print the telemetry summary table")
+
+    workload = sub.add_parser(
+        "workload",
+        help="run a deterministic multi-query workload over one shared swarm",
+    )
+    workload.add_argument("--queries", type=int, default=10,
+                          help="number of query arrivals")
+    workload.add_argument("--arrival", choices=("poisson", "uniform", "closed"),
+                          default="poisson", help="arrival process")
+    workload.add_argument("--rate", type=float, default=2.0,
+                          help="open-loop arrival rate (queries per second)")
+    workload.add_argument("--in-flight", type=int, default=4,
+                          help="closed-loop target concurrency")
+    workload.add_argument("--max-concurrent", type=int, default=8,
+                          help="admission cap on concurrent executions")
+    workload.add_argument("--queue", type=int, default=16,
+                          help="admission queue capacity (0 = shed at cap)")
+    workload.add_argument("--backup-fraction", type=float, default=0.0,
+                          help="fraction of queries using the backup strategy")
+    workload.add_argument("--contributors", type=int, default=30)
+    workload.add_argument("--processors", type=int, default=60)
+    workload.add_argument("--cardinality", type=int, default=48)
+    workload.add_argument("--max-raw", type=int, default=24)
+    workload.add_argument("--sql", default=DEFAULT_SQL)
+    workload.add_argument("--collection-window", type=float, default=5.0)
+    workload.add_argument("--deadline", type=float, default=12.0)
+    workload.add_argument("--reliability", action="store_true",
+                          help="per-query reliable transport and recovery")
+    workload.add_argument("--standbys", type=int, default=0,
+                          help="extra devices leased per reliable query")
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--per-query", action="store_true",
+                          help="print the per-query lifecycle table")
+    workload.add_argument("--serial-check", action="store_true",
+                          help="replay every completed query alone and "
+                               "verify byte-identical report fingerprints")
+    workload.add_argument("--metrics-out", metavar="PATH", default=None,
+                          help="write the telemetry JSONL export to PATH")
+    workload.add_argument("--telemetry", action="store_true",
+                          help="print the telemetry summary table")
 
     advise = sub.add_parser(
         "advise", help="recommend a resiliency strategy for a query"
@@ -405,6 +462,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.replay:
         return _cmd_chaos_replay(args)
+    if args.workload is not None:
+        return _cmd_chaos_workload(args)
 
     strategies = (
         ("overcollection", "backup")
@@ -463,6 +522,155 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_chaos_workload(args: argparse.Namespace) -> int:
+    from repro.chaos import (
+        WorkloadChaosConfig,
+        parse_fault_mix,
+        run_workload,
+        shrink_workload_plan,
+    )
+    from repro.workload import WorkloadSpec
+
+    spec = WorkloadSpec(
+        n_queries=args.workload,
+        max_concurrent=args.workload_max_concurrent,
+        queue_capacity=2 * args.workload_max_concurrent,
+        seed=args.seed,
+        reliability=args.reliability,
+    )
+    config = WorkloadChaosConfig(
+        n_contributors=args.contributors,
+        n_processors=args.processors,
+        crash_probability=max(args.failure_probability),
+        disconnect_probability=args.disconnect_probability,
+        message_loss=args.message_loss,
+        fault_specs=parse_fault_mix(args.fault_mix) if args.fault_mix else (),
+        validity_tolerance=args.validity_tolerance,
+    )
+    telemetry = Telemetry()
+    outcome = run_workload(spec, config, telemetry=telemetry)
+    print(
+        f"chaos workload: seed={spec.seed} queries={spec.n_queries} "
+        f"max_concurrent={spec.max_concurrent} clean={outcome.clean}"
+    )
+    print(
+        _render_rows(
+            ["query", "outcome", "success", "degraded", "violations"],
+            outcome.summary_rows(),
+        )
+    )
+    summary = outcome.result.summary()
+    print(
+        f"  completed={summary['completed']} shed={summary['shed']} "
+        f"throughput={summary['throughput']:.3f}/s "
+        f"utilization={summary['utilization']:.2%}"
+    )
+    for query_id, violation in outcome.violations:
+        print(f"  {query_id}: {violation.invariant} — {violation.detail}")
+    if outcome.violations and not args.no_shrink:
+        shrunk = shrink_workload_plan(
+            spec, config, outcome, max_attempts=args.shrink_budget
+        )
+        if shrunk is None:
+            print("  shrink: schedule does not reproduce as a scripted plan")
+        else:
+            print(f"  shrink: minimal failing plan {shrunk.to_dict()}")
+    _emit_telemetry(args, telemetry)
+    if outcome.ok:
+        print("all invariants held for every query")
+        return 0
+    print(f"{len(outcome.violations)} invariant violation(s)")
+    return 1
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workload import WorkloadEngine, WorkloadSpec, serial_fingerprints
+
+    spec = WorkloadSpec(
+        n_queries=args.queries,
+        arrival_process=args.arrival,
+        arrival_rate=args.rate,
+        target_in_flight=args.in_flight,
+        max_concurrent=args.max_concurrent,
+        queue_capacity=args.queue,
+        backup_fraction=args.backup_fraction,
+        seed=args.seed,
+        snapshot_cardinality=args.cardinality,
+        max_raw_per_edgelet=args.max_raw,
+        collection_window=args.collection_window,
+        deadline=args.deadline,
+        reliability=args.reliability,
+        sql=args.sql,
+    )
+    telemetry = Telemetry()
+    engine = WorkloadEngine(
+        spec,
+        n_contributors=args.contributors,
+        n_processors=args.processors,
+        telemetry=telemetry,
+        standby_count=args.standbys,
+    )
+    result = engine.run()
+    summary = result.summary()
+    print(
+        f"workload: seed={spec.seed} queries={spec.n_queries} "
+        f"arrival={spec.arrival_process} max_concurrent={spec.max_concurrent}"
+    )
+    print(
+        _render_rows(
+            ["arrivals", "admitted", "queued", "shed", "completed",
+             "succeeded", "degraded"],
+            [[summary["arrivals"], summary["admitted"], summary["queued"],
+              summary["shed"], summary["completed"], summary["succeeded"],
+              summary["degraded"]]],
+        )
+    )
+    if result.latency_percentiles:
+        print(
+            f"  latency p50={result.latency_percentiles['p50']:.2f}s "
+            f"p95={result.latency_percentiles['p95']:.2f}s "
+            f"p99={result.latency_percentiles['p99']:.2f}s"
+        )
+    print(
+        f"  elapsed={result.elapsed:.2f}s virtual, "
+        f"throughput={result.throughput:.3f} queries/s, "
+        f"device utilization={result.utilization:.2%}"
+    )
+    if args.per_query:
+        rows = []
+        for record in result.records:
+            rows.append([
+                record.arrival.query_id,
+                record.arrival.strategy,
+                record.outcome,
+                "-" if record.arrived_at is None else f"{record.arrived_at:.2f}",
+                "-" if record.latency is None else f"{record.latency:.2f}",
+                len(record.leased),
+            ])
+        print(_render_rows(
+            ["query", "strategy", "outcome", "arrived", "latency", "leased"],
+            rows,
+        ))
+    exit_code = 0
+    if args.serial_check:
+        workload_prints = result.fingerprints()
+        solo_prints = serial_fingerprints(engine, result)
+        matches = sum(
+            1 for qid, fp in workload_prints.items()
+            if solo_prints.get(qid) == fp
+        )
+        print(
+            f"  serial equivalence: {matches}/{len(workload_prints)} queries "
+            f"byte-identical to their solo replays"
+        )
+        if matches != len(workload_prints):
+            exit_code = 1
+    _emit_telemetry(args, telemetry)
+    if result.completed + result.shed != result.arrivals:
+        exit_code = 1
+    return exit_code
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.core.advisor import QueryProperties, recommend_strategy
 
@@ -489,6 +697,7 @@ _COMMANDS = {
     "kmeans": _cmd_kmeans,
     "resiliency": _cmd_resiliency,
     "chaos": _cmd_chaos,
+    "workload": _cmd_workload,
     "advise": _cmd_advise,
 }
 

@@ -238,15 +238,30 @@ class ExecutionCoordinator:
 
     def run(self) -> ExecutionReport:
         """Execute the plan to the deadline and return the report."""
+        horizon = self.start()
+        self.ctx.simulator.run_until(horizon)
+        return self.finish()
+
+    def start(self) -> float:
+        """Wire handlers and arm every phase timer; returns the horizon.
+
+        Split out of :meth:`run` so a workload engine can start several
+        executions on one shared clock and advance them together —
+        each query's events interleave on the simulator, and
+        :meth:`finish` seals its report once its own horizon passes.
+        """
         ctx = self.ctx
+        query_id = ctx.plan.query_id
         self.attach_handlers()
         self.contributor.schedule_contributions()
         ctx.simulator.schedule_at(
-            ctx.collect_end, self.end_collection, "end-collection"
+            ctx.collect_end, self.end_collection, f"end-collection:{query_id}"
         )
         if ctx.kind == "kmeans":
             self.computer.schedule_heartbeats()
-        ctx.simulator.schedule_at(ctx.deadline_at, self.finalize, "combiner-deadline")
+        ctx.simulator.schedule_at(
+            ctx.deadline_at, self.finalize, f"combiner-deadline:{query_id}"
+        )
         if self.recovery is not None:
             self.recovery.arm()
         horizon = ctx.deadline_at + self.result_slack()
@@ -254,13 +269,22 @@ class ExecutionCoordinator:
             ctx.simulator.schedule_at(
                 ctx.deadline_at + 0.6 * self.stats_window(),
                 self.finalize_stats,
-                "cluster-stats-deadline",
+                f"cluster-stats-deadline:{query_id}",
             )
             horizon += self.stats_window()
-        ctx.simulator.run_until(horizon)
-        ctx.report.network_stats = ctx.network.stats.as_dict()
+        self.horizon = horizon
+        return horizon
+
+    def finish(self) -> ExecutionReport:
+        """Seal and return the report (call once the horizon passed)."""
+        ctx = self.ctx
+        network_stats = getattr(ctx.network, "stats", None)
+        if network_stats is not None:
+            ctx.report.network_stats = network_stats.as_dict()
         if ctx.transport is not None:
-            ctx.report.transport_stats = ctx.transport.stats.as_dict()
+            transport_stats = getattr(ctx.transport, "stats", None)
+            if transport_stats is not None:
+                ctx.report.transport_stats = transport_stats.as_dict()
         if ctx.span_combination is not None:
             ctx.span_combination.finish(at=ctx.simulator.now)
         ctx.span_execution.finish(at=ctx.simulator.now)

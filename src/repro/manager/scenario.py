@@ -81,7 +81,7 @@ class ScenarioConfig:
             :class:`~repro.network.failures.FailurePlan` installed at
             query start (chaos replay path).
         fault_specs: optional tuple of
-            :class:`~repro.chaos.faults.FaultSpec` message-fault rules
+            :class:`~repro.network.faults.FaultSpec` message-fault rules
             installed on the network (seeded with ``seed + 3``).
         reliability: wire the
             :class:`~repro.network.reliable.ReliableTransport` overlay
@@ -312,6 +312,50 @@ class Scenario:
             attested.append(device)
         return attested
 
+    def eligible_processor_ids(self) -> list[str]:
+        """Processor device ids allowed to hold data-processor roles
+        (the attested subset when the scenario requires attestation)."""
+        eligible = (
+            self.attest_processors()
+            if self.config.require_attestation
+            else self.processors
+        )
+        return [d.device_id for d in eligible]
+
+    def plan_query(
+        self,
+        spec: QuerySpec,
+        privacy: PrivacyParameters | None = None,
+        resiliency: ResiliencyParameters | None = None,
+    ) -> QueryExecutionPlan:
+        """Plan one query over this scenario's contributors (unassigned)."""
+        planner = EdgeletPlanner(privacy=privacy, resiliency=resiliency)
+        return planner.plan(
+            spec, contributor_ids=[d.device_id for d in self.contributors]
+        )
+
+    def assign_query(
+        self, plan: QueryExecutionPlan, processor_ids: list[str] | None = None
+    ) -> None:
+        """Assign the plan's operators from a processor pool.
+
+        ``processor_ids`` defaults to every eligible processor; the
+        workload engine passes the subset it leased for this query.
+        The hash-ranked assignment is a pure function of the pool *set*,
+        so a query assigned from its leased devices replays identically
+        when run alone over the same set.
+        """
+        if processor_ids is None:
+            processor_ids = self.eligible_processor_ids()
+        assign_operators(
+            plan,
+            processor_ids,
+            exclusive=len(processor_ids)
+            >= sum(1 for op in plan.operators() if op.role.is_data_processor),
+        )
+        querier_op = plan.operators(OperatorRole.QUERIER)[0]
+        querier_op.assigned_to = self.querier_device.device_id
+
     def run_query(
         self,
         spec: QuerySpec,
@@ -320,23 +364,9 @@ class Scenario:
         separated_pairs: list[tuple[str, str]] | None = None,
     ) -> ScenarioResult:
         """Plan, assign, and execute one query on this scenario."""
-        planner = EdgeletPlanner(privacy=privacy, resiliency=resiliency)
-        plan = planner.plan(
-            spec, contributor_ids=[d.device_id for d in self.contributors]
-        )
-        eligible = (
-            self.attest_processors()
-            if self.config.require_attestation
-            else self.processors
-        )
-        assign_operators(
-            plan,
-            [d.device_id for d in eligible],
-            exclusive=len(eligible)
-            >= sum(1 for op in plan.operators() if op.role.is_data_processor),
-        )
-        querier_op = plan.operators(OperatorRole.QUERIER)[0]
-        querier_op.assigned_to = self.querier_device.device_id
+        plan = self.plan_query(spec, privacy=privacy, resiliency=resiliency)
+        eligible_ids = self.eligible_processor_ids()
+        self.assign_query(plan, eligible_ids)
 
         transport = None
         recovery = None
@@ -356,7 +386,8 @@ class Scenario:
             # the re-recruitment pool: eligible processors the assignment
             # pass left unassigned, in their (deterministic) pool order
             standbys = [
-                d.device_id for d in eligible if d.device_id not in assigned
+                device_id for device_id in eligible_ids
+                if device_id not in assigned
             ]
 
         scenario_span = self.telemetry.tracer.push(
@@ -394,7 +425,7 @@ class Scenario:
             schedule.install(self.simulator, self.network)
 
         if self.config.fault_specs:
-            from repro.chaos.faults import MessageFaultInjector
+            from repro.network.faults import MessageFaultInjector
 
             self.network.install_faults(
                 MessageFaultInjector(self.config.fault_specs, seed=self.config.seed + 3)
@@ -420,16 +451,7 @@ class Scenario:
 
         report = executor.run()
         self.telemetry.tracer.pop(scenario_span, at=self.simulator.now)
-        metrics = self.telemetry.metrics
-        metrics.counter("scenario.queries_run").inc()
-        if report.success:
-            metrics.counter("scenario.queries_succeeded").inc()
-            if report.completion_time is not None:
-                metrics.histogram("scenario.completion_time").observe(
-                    report.completion_time - executor.start_time
-                )
-        if report.degraded:
-            metrics.counter("scenario.queries_degraded").inc()
+        self.record_query_metrics(report, executor.start_time)
         exposure = measure_exposure(plan, separated_pairs=separated_pairs)
         liability = measure_liability(plan, tuples_per_device=report.tuples_per_device)
         failure_events = list(scripted_events)
@@ -446,6 +468,34 @@ class Scenario:
             fault_injector=self.network.faults,
             transport=transport,
         )
+
+    def record_query_metrics(
+        self, report: ExecutionReport, start_time: float
+    ) -> None:
+        """Count one finished query under ``scenario.*``.
+
+        Each counter exists twice: the historical unlabelled aggregate,
+        and a sibling labelled by ``query`` — without the label,
+        concurrent workloads collapse every query into one number and
+        per-query outcomes become unrecoverable (the single-query
+        assumption this PR's audit flushed out).
+        """
+        metrics = self.telemetry.metrics
+        query_id = report.query_id
+        metrics.counter("scenario.queries_run").inc()
+        metrics.counter("scenario.queries_run", query=query_id).inc()
+        if report.success:
+            metrics.counter("scenario.queries_succeeded").inc()
+            metrics.counter("scenario.queries_succeeded", query=query_id).inc()
+            if report.completion_time is not None:
+                latency = report.completion_time - start_time
+                metrics.histogram("scenario.completion_time").observe(latency)
+                metrics.histogram(
+                    "scenario.completion_time", query=query_id
+                ).observe(latency)
+        if report.degraded:
+            metrics.counter("scenario.queries_degraded").inc()
+            metrics.counter("scenario.queries_degraded", query=query_id).inc()
 
     def centralized_result(self, spec: QuerySpec):
         """Run the same logical query on the centralized oracle."""

@@ -121,6 +121,7 @@ class OpportunisticNetwork:
         config: NetworkConfig | None = None,
         seed: int = 0,
         telemetry: Any = None,
+        per_query_rng: bool = False,
     ):
         self.simulator = simulator
         self.topology = topology
@@ -128,6 +129,15 @@ class OpportunisticNetwork:
         self.stats = NetworkStats()
         self._seed = seed
         self._rng = random.Random(seed)
+        # opt-in: loss/latency draws for messages carrying a "query"
+        # header come from a stream seeded by (network seed, query id),
+        # so one query's draw sequence is independent of how many other
+        # queries interleave with it — the property the workload engine's
+        # serial-equivalence guarantee rests on.  Off by default: the
+        # single shared stream is the legacy behaviour existing
+        # fixed-seed tests replay.
+        self.per_query_rng = per_query_rng
+        self._query_rngs: dict[str, random.Random] = {}
         # per-instance id stream: two networks in one process allocate
         # identical id sequences, so fixed-seed runs replay byte-for-byte
         self._message_ids = itertools.count(1)
@@ -137,7 +147,7 @@ class OpportunisticNetwork:
         self._dead: set[str] = set()
         self._inboxes: dict[str, list[tuple[float, Message]]] = {}
         self._receipts: list[DeliveryReceipt] = []
-        # optional chaos hook (see repro.chaos.faults.MessageFaultInjector);
+        # optional chaos hook (see repro.network.faults.MessageFaultInjector);
         # owns its own RNG, so installing one never shifts self._rng's stream
         self.faults: Any = None
         if telemetry is None:
@@ -216,6 +226,7 @@ class OpportunisticNetwork:
         self._epoch += 1
         self.stats = NetworkStats()
         self._rng = random.Random(self._seed)
+        self._query_rngs.clear()
         self._message_ids = itertools.count(1)
         self._dead.clear()
         self._receipts.clear()
@@ -279,10 +290,11 @@ class OpportunisticNetwork:
             copies = decision.copies
             extra_delay = decision.extra_delay
 
+        rng = self._rng_for(message)
         # each copy takes its own loss and latency trials, exactly the
         # draws the single-copy path always made (stream-compatible)
         for _ in range(copies):
-            if self._rng.random() < self.config.global_loss_probability:
+            if rng.random() < self.config.global_loss_probability:
                 self._record_loss(message)
                 continue
 
@@ -298,7 +310,7 @@ class OpportunisticNetwork:
             # one loss trial per hop
             lost = False
             for _ in range(hops):
-                if self._rng.random() < quality.loss_probability:
+                if rng.random() < quality.loss_probability:
                     self._record_loss(message)
                     lost = True
                     break
@@ -306,7 +318,7 @@ class OpportunisticNetwork:
                 continue
 
             latency = extra_delay + sum(
-                quality.sample_latency(message.size_bytes, self._rng)
+                quality.sample_latency(message.size_bytes, rng)
                 for _ in range(hops)
             )
             epoch = self._epoch
@@ -339,6 +351,27 @@ class OpportunisticNetwork:
         return messages
 
     # -- internals ----------------------------------------------------------
+
+    def _rng_for(self, message: Message) -> random.Random:
+        """The RNG stream supplying this message's loss/latency draws.
+
+        With :attr:`per_query_rng` enabled, a message carrying a
+        ``query`` header draws from ``Random(f"{seed}:q:{query_id}")`` —
+        a stream private to that query, unaffected by interleaved
+        traffic of other queries.  Headerless messages (and the default
+        mode) keep the single shared stream.
+        """
+        if not self.per_query_rng:
+            return self._rng
+        query_id = message.headers.get("query")
+        if query_id is None:
+            return self._rng
+        rng = self._query_rngs.get(query_id)
+        if rng is None:
+            rng = self._query_rngs[query_id] = random.Random(
+                f"{self._seed}:q:{query_id}"
+            )
+        return rng
 
     def _route(self, sender: str, recipient: str) -> tuple[LinkQuality | None, int]:
         """Find link quality and hop count between two devices."""

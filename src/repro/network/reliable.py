@@ -413,7 +413,7 @@ class ReliableTransport:
                 return
             # acknowledge first (even duplicates: the earlier ACK may
             # have been lost, which is why the sender retransmitted)
-            self._send_ack(device_id, message.sender, transfer_id)
+            self._send_ack(device_id, message.sender, transfer_id, message)
             seen = self._seen.setdefault(device_id, set())
             if transfer_id in seen:
                 self.stats.duplicates_suppressed += 1
@@ -424,20 +424,30 @@ class ReliableTransport:
 
         return receive
 
-    def _send_ack(self, device_id: str, peer: str, transfer_id: int) -> None:
+    def _send_ack(
+        self,
+        device_id: str,
+        peer: str,
+        transfer_id: int,
+        inbound: Message | None = None,
+    ) -> None:
         # ACKs carry only the transfer id — no application data leaves
         # the sealed payload path through them
         self.stats.acks_sent += 1
         self._m_acks_sent.inc()
-        self.network.send(
-            Message(
-                sender=device_id,
-                recipient=peer,
-                kind=MessageKind.ACK,
-                payload={TRANSFER_HEADER: transfer_id},
-                size_bytes=self.config.ack_size_bytes,
-            )
+        ack = Message(
+            sender=device_id,
+            recipient=peer,
+            kind=MessageKind.ACK,
+            payload={TRANSFER_HEADER: transfer_id},
+            size_bytes=self.config.ack_size_bytes,
         )
+        if inbound is not None and "query" in inbound.headers:
+            # route the ACK back to the query whose transfer it
+            # acknowledges — under a query mux the sender's transport is
+            # reachable only through that query's routing table
+            ack.headers["query"] = inbound.headers["query"]
+        self.network.send(ack)
 
     def _on_ack(self, message: Message) -> None:
         payload = message.payload

@@ -1,0 +1,29 @@
+"""repro.workload: deterministic multi-query workload engine.
+
+Multiplexes many concurrent Edgelet queries over one shared device
+population on the virtual clock — seeded open/closed-loop load
+generation (:mod:`.spec`), admission + device-role leasing and the
+per-query execution drive (:mod:`.engine`), and canonical report
+fingerprints for serial-equivalence auditing (:mod:`.fingerprint`).
+"""
+
+from repro.workload.engine import (
+    QueryRecord,
+    WorkloadEngine,
+    WorkloadResult,
+    serial_fingerprints,
+)
+from repro.workload.fingerprint import canonical_report, report_fingerprint
+from repro.workload.spec import ARRIVAL_PROCESSES, QueryArrival, WorkloadSpec
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "QueryArrival",
+    "QueryRecord",
+    "WorkloadEngine",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "canonical_report",
+    "report_fingerprint",
+    "serial_fingerprints",
+]

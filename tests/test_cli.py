@@ -187,3 +187,68 @@ class TestCommands:
         ])
         assert code == 0
         assert "ages" in capsys.readouterr().out
+
+
+class TestWorkloadCommand:
+    def test_workload_defaults_parse(self):
+        args = build_parser().parse_args(["workload"])
+        assert args.command == "workload"
+        assert args.queries == 10
+        assert args.arrival == "poisson"
+
+    def test_workload_rejects_unknown_arrival(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "--arrival", "bursty"])
+
+    def test_workload_command_runs(self, capsys):
+        code = main([
+            "workload", "--queries", "5", "--arrival", "poisson",
+            "--rate", "2", "--max-concurrent", "3", "--contributors", "24",
+            "--processors", "40", "--seed", "7", "--per-query",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arrivals" in out
+        assert "completed" in out
+        assert "wl7-q000" in out
+        assert "throughput=" in out
+
+    def test_workload_serial_check(self, capsys):
+        code = main([
+            "workload", "--queries", "4", "--arrival", "uniform",
+            "--rate", "3", "--max-concurrent", "3", "--contributors", "24",
+            "--processors", "40", "--seed", "5", "--serial-check",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serial equivalence: " in out
+        assert "byte-identical" in out
+
+    def test_workload_closed_loop(self, capsys):
+        code = main([
+            "workload", "--queries", "4", "--arrival", "closed",
+            "--in-flight", "2", "--max-concurrent", "3",
+            "--contributors", "24", "--processors", "40", "--seed", "2",
+        ])
+        assert code == 0
+        assert "arrival=closed" in capsys.readouterr().out
+
+    def test_chaos_workload_mode(self, capsys):
+        code = main([
+            "chaos", "--workload", "3", "--seed", "1",
+            "--failure-probability", "0.0", "--processors", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos workload:" in out
+        assert "wl1-q000" in out
+        assert "all invariants held for every query" in out
+
+    def test_chaos_workload_with_faults(self, capsys):
+        code = main([
+            "chaos", "--workload", "3", "--seed", "7",
+            "--failure-probability", "0.004", "--processors", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clean=False" in out

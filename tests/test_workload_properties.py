@@ -1,0 +1,93 @@
+"""Property-based tests over randomly generated workloads.
+
+`hypothesis` drives the workload engine across the (arrival process x
+concurrency cap x queue depth x strategy mix) space and asserts the
+invariants the admission/lease machinery promises for *every* workload:
+
+* conservation — ``shed + completed == arrivals`` exactly;
+* termination — every arrival ends in a terminal state, and every
+  admitted (completed) query carries a report: success, degraded
+  success, or explicit failure — never silence;
+* lease exclusivity — no device is leased to two concurrently running
+  queries (a device computes/combines for at most one query at a time);
+* bounded concurrency — at no point do more than ``max_concurrent``
+  executions overlap.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import Telemetry
+from repro.workload import WorkloadEngine, WorkloadSpec
+
+workload_specs = st.builds(
+    WorkloadSpec,
+    n_queries=st.integers(min_value=1, max_value=6),
+    arrival_process=st.sampled_from(["poisson", "uniform", "closed"]),
+    arrival_rate=st.floats(min_value=0.5, max_value=6.0),
+    target_in_flight=st.integers(min_value=1, max_value=4),
+    max_concurrent=st.integers(min_value=1, max_value=4),
+    queue_capacity=st.integers(min_value=0, max_value=4),
+    backup_fraction=st.sampled_from([0.0, 0.5, 1.0]),
+    seed=st.integers(min_value=0, max_value=2**16),
+    snapshot_cardinality=st.just(24),
+    max_raw_per_edgelet=st.just(12),
+    collection_window=st.just(4.0),
+    deadline=st.just(10.0),
+)
+
+
+def _intervals(records):
+    return [
+        (r.started_at, r.finished_at, set(r.leased) | set(r.standbys))
+        for r in records
+        if r.outcome == "completed"
+    ]
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(spec=workload_specs)
+def test_workload_invariants(spec: WorkloadSpec):
+    engine = WorkloadEngine(
+        spec, n_contributors=16, n_processors=24, telemetry=Telemetry()
+    )
+    result = engine.run()
+
+    # conservation: every arrival is either shed or completed
+    assert result.shed + result.completed == result.arrivals
+    assert result.arrivals == spec.n_queries
+
+    # termination: terminal outcome everywhere; admitted queries carry a
+    # report (success, degraded, or explicit failure)
+    for record in result.records:
+        assert record.outcome in ("completed", "shed")
+        if record.outcome == "completed":
+            assert record.report is not None
+            assert record.fingerprint is not None
+            assert isinstance(record.report.success, bool)
+        else:
+            assert record.report is None
+
+    # lease exclusivity: concurrently running queries never share a
+    # leased device (exclusive data-processor roles)
+    intervals = _intervals(result.records)
+    for i, (start_a, end_a, leased_a) in enumerate(intervals):
+        for start_b, end_b, leased_b in intervals[i + 1 :]:
+            if start_a < end_b and start_b < end_a:
+                assert not (leased_a & leased_b)
+
+    # bounded concurrency: the admission cap holds at every instant
+    events = sorted(
+        [(start, 1) for start, _, _ in intervals]
+        + [(end, -1) for _, end, _ in intervals]
+    )
+    in_flight = 0
+    for _, delta in events:
+        in_flight += delta
+        assert in_flight <= spec.max_concurrent

@@ -26,13 +26,19 @@ from pathlib import Path
 
 # package -> layers it must not reach into (even lazily)
 FORBIDDEN: dict[str, tuple[str, ...]] = {
-    "repro.core": ("repro.manager", "repro.chaos"),
-    "repro.network": ("repro.manager", "repro.chaos"),
-    "repro.query": ("repro.manager", "repro.chaos"),
-    "repro.devices": ("repro.manager", "repro.chaos"),
+    "repro.core": ("repro.manager", "repro.chaos", "repro.workload"),
+    "repro.network": ("repro.manager", "repro.chaos", "repro.workload"),
+    "repro.query": ("repro.manager", "repro.chaos", "repro.workload"),
+    "repro.devices": ("repro.manager", "repro.chaos", "repro.workload"),
     # the reliable transport is pure plumbing: it retries opaque
     # payloads and must never learn about query execution semantics
     "repro.network.reliable": ("repro.core",),
+    # the manager orchestrates one query at a time; the workload
+    # engine multiplexes *on top of* it and chaos probes both from
+    # above, so neither may leak back down into the manager
+    "repro.manager": ("repro.workload", "repro.chaos"),
+    # chaos.workload imports the engine, never the reverse
+    "repro.workload": ("repro.chaos",),
 }
 
 
@@ -92,7 +98,10 @@ def main() -> int:
         for violation in violations:
             print(f"  {violation}")
         return 1
-    print("layering ok: repro.core never imports repro.manager/repro.chaos")
+    print(
+        "layering ok: substrate never imports manager/chaos/workload, "
+        "manager never imports workload/chaos"
+    )
     return 0
 
 
