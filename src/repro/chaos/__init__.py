@@ -6,12 +6,20 @@ message-level fault injection on the opportunistic network
 Liability invariants (:mod:`~repro.chaos.invariants`), deterministic
 seeded campaign sweeps (:mod:`~repro.chaos.campaign`), failure-schedule
 shrinking (:mod:`~repro.chaos.shrink`), replayable JSON repro
-artifacts (:mod:`~repro.chaos.artifact`), and chaos over concurrent
+artifacts (:mod:`~repro.chaos.artifact`), chaos over concurrent
 multi-query workloads with per-query invariant verdicts
-(:mod:`~repro.chaos.workload`).
+(:mod:`~repro.chaos.workload`), and long-soak chaos over standing
+queries with per-window verdicts under population churn
+(:mod:`~repro.chaos.continuous`).
 """
 
 from repro.chaos.artifact import ReproArtifact
+from repro.chaos.continuous import (
+    ContinuousChaosConfig,
+    SoakOutcome,
+    WindowOutcome,
+    run_soak,
+)
 from repro.chaos.campaign import (
     CampaignConfig,
     CampaignResult,
@@ -47,6 +55,7 @@ from repro.chaos.workload import (
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
+    "ContinuousChaosConfig",
     "FaultDecision",
     "FaultSpec",
     "INVARIANTS",
@@ -56,8 +65,10 @@ __all__ = [
     "RunOutcome",
     "RunRecord",
     "RunSpec",
+    "SoakOutcome",
     "TopologySpec",
     "Violation",
+    "WindowOutcome",
     "WorkloadChaosConfig",
     "WorkloadChaosOutcome",
     "check_all",
@@ -66,6 +77,7 @@ __all__ = [
     "parse_fault_mix",
     "run_campaign",
     "run_single",
+    "run_soak",
     "run_workload",
     "shrink_failure_plan",
     "shrink_workload_plan",

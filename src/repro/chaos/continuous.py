@@ -1,0 +1,362 @@
+"""Long-soak chaos over standing queries: every window keeps every promise.
+
+The workload module (:mod:`~repro.chaos.workload`) asks the concurrency
+question over a frozen swarm.  This module asks the *longevity*
+question: with a standing query re-executing for dozens of windows
+while the population churns underneath **and** message faults gnaw at
+the shared network, does every individual window still satisfy the full
+invariant suite — Resiliency, Validity, Crowd Liability, dedup,
+takeover?
+
+One :func:`run_soak` call drives a
+:class:`~repro.continuous.engine.ContinuousEngine` with the chaos hooks
+installed, then rebuilds a per-window
+:class:`~repro.chaos.invariants.RunRecord` for every completed window.
+The validity oracle is rebuilt *per window* from the window's own
+frozen row snapshot (``WindowRecord.rows``) — under churn there is no
+single dataset to compare against, each window defines its own ground
+truth.  On top of the per-window suite, three conservation identities
+are checked once per run:
+
+* window accounting — ``completed + skipped + empty == windows``;
+* admission accounting — ``completed + shed == offered``;
+* lease conservation — no retired device holds a lease, and every
+  forcibly-reclaimed lease is on the flagged audit trail.
+
+Everything is a pure function of ``(spec, churn, chaos knobs)``: the
+same soak reproduces bit-for-bit, per-window lineage fingerprints
+included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.chaos.invariants import RunRecord, Violation, check_all
+from repro.continuous.engine import (
+    COMPLETED,
+    ContinuousEngine,
+    ContinuousResult,
+)
+from repro.continuous.spec import StandingQuerySpec
+from repro.core.liability import measure_liability
+from repro.core.privacy import measure_exposure
+from repro.devices.churn import ChurnSpec
+from repro.network.failures import FailurePlan
+from repro.network.faults import FaultSpec
+from repro.query.engine import CentralizedEngine
+from repro.query.relation import Relation
+
+__all__ = [
+    "ContinuousChaosConfig",
+    "SoakOutcome",
+    "WindowOutcome",
+    "run_soak",
+]
+
+
+@dataclass(frozen=True)
+class ContinuousChaosConfig:
+    """Chaos + churn knobs layered over one standing-query run.
+
+    All fields default to "off": a config with everything off is a
+    clean frozen-population run, and the invariant suite then holds
+    every window to the *exact* clean-run bar.
+    """
+
+    n_contributors: int = 24
+    n_processors: int = 48
+    rows_per_contributor: int = 2
+    churn: ChurnSpec | None = None
+    crash_probability: float = 0.0
+    disconnect_probability: float = 0.0
+    disconnect_duration: float = 10.0
+    message_loss: float = 0.0
+    fault_specs: tuple[FaultSpec, ...] = ()
+    failure_plan: FailurePlan | None = None
+    standby_count: int = 0
+    validity_tolerance: float = 0.75
+    liability_max_share: float = 0.5
+
+    @property
+    def any_chaos(self) -> bool:
+        return bool(
+            self.crash_probability > 0
+            or self.disconnect_probability > 0
+            or self.message_loss > 0
+            or self.fault_specs
+            or self.failure_plan is not None
+        )
+
+
+@dataclass
+class WindowOutcome:
+    """One window's invariant verdicts."""
+
+    window_id: str
+    index: int
+    outcome: str
+    violations: list[Violation] = field(default_factory=list)
+    success: bool | None = None
+    degraded: bool | None = None
+    coverage: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class SoakOutcome:
+    """Everything one standing-query soak produced."""
+
+    spec: StandingQuerySpec
+    config: ContinuousChaosConfig
+    result: ContinuousResult
+    windows: list[WindowOutcome]
+    failure_events: list[Any]
+    clean: bool
+
+    @property
+    def violations(self) -> list[tuple[str, Violation]]:
+        found = []
+        for window in self.windows:
+            for violation in window.violations:
+                found.append((window.window_id, violation))
+        return found
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary_rows(self) -> list[list[Any]]:
+        """Per-window roll-up for the CLI table."""
+        rows = []
+        for window in self.windows:
+            rows.append(
+                [
+                    window.window_id,
+                    window.outcome,
+                    "-" if window.success is None else ("yes" if window.success else "NO"),
+                    "-" if window.degraded is None else ("yes" if window.degraded else "no"),
+                    "-" if window.coverage is None else f"{window.coverage:.2f}",
+                    len(window.violations),
+                ]
+            )
+        return rows
+
+
+@dataclass
+class _WindowRunResult:
+    """Adapter giving one window the shape the
+    :class:`~repro.chaos.invariants.RunRecord` checks expect of a
+    :class:`~repro.manager.scenario.ScenarioResult`."""
+
+    report: Any
+    plan: Any
+    executor: Any
+    exposure: Any
+    liability: Any
+    failure_events: list[Any]
+    fault_injector: Any
+    transport: Any = None
+
+
+def _collect_failure_events(engine: ContinuousEngine) -> list[Any]:
+    events = list(engine.scripted_events)
+    if engine.injector is not None:
+        events.extend(engine.injector.events)
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def _window_reference(engine: ContinuousEngine, rows: list[dict[str, Any]]):
+    """The centralized oracle over *this window's* frozen snapshot."""
+    oracle = CentralizedEngine()
+    oracle.register(
+        "data", Relation(engine.scenario_config.schema, rows)
+    )
+    return oracle.execute_logical("data", engine.group_by)
+
+
+def run_soak(
+    spec: StandingQuerySpec,
+    config: ContinuousChaosConfig | None = None,
+    telemetry: Any = None,
+) -> SoakOutcome:
+    """Run one standing query under churn + chaos; check every window.
+
+    The shared failure-event log and fault injector are attached to
+    every window's record — a fault anywhere on the shared substrate
+    (including a message to a *departed* device) can legitimately
+    explain any window's degradation, so the one-sided invariant checks
+    must see the whole log, not a per-window slice.
+    """
+    if config is None:
+        config = ContinuousChaosConfig()
+    if telemetry is None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    engine = ContinuousEngine(
+        spec,
+        churn=config.churn,
+        n_contributors=config.n_contributors,
+        n_processors=config.n_processors,
+        rows_per_contributor=config.rows_per_contributor,
+        telemetry=telemetry,
+        standby_count=config.standby_count,
+        fault_specs=config.fault_specs or None,
+        failure_plan=config.failure_plan,
+        crash_probability=config.crash_probability,
+        disconnect_probability=config.disconnect_probability,
+        disconnect_duration=config.disconnect_duration,
+        message_loss=config.message_loss,
+    )
+    result = engine.run()
+    failure_events = _collect_failure_events(engine)
+    fault_injector = engine.scenario.network.faults
+    network_stats = engine.scenario.network.stats.as_dict()
+    loss_keys = (
+        "lost",
+        "dropped_timeout",
+        "no_route",
+        "to_dead_device",
+        "departed",
+        "fault_dropped",
+        "fault_corrupted",
+        "fault_duplicated",
+        "fault_delayed",
+    )
+    any_churn_events = any(
+        w.churn is not None and w.churn.any_events for w in result.windows
+    )
+    # clean is a *post hoc* verdict: churn events count as chaos — a
+    # departure mid-collection is indistinguishable from a crash to the
+    # affected window, so any churn demotes every window to the
+    # tolerance-bound checks (the substrate is shared across windows)
+    clean = (
+        not config.any_chaos
+        and not any_churn_events
+        and not failure_events
+        and not (fault_injector is not None and fault_injector.decisions)
+        and all(not network_stats.get(key, 0) for key in loss_keys)
+    )
+    windows: list[WindowOutcome] = []
+    for record in result.windows:
+        if record.outcome != COMPLETED:
+            windows.append(
+                WindowOutcome(
+                    window_id=record.window_id,
+                    index=record.index,
+                    outcome=record.outcome,
+                )
+            )
+            continue
+        run_result = _WindowRunResult(
+            report=record.report,
+            plan=record.plan,
+            executor=record.executor,
+            exposure=measure_exposure(record.plan),
+            liability=measure_liability(
+                record.plan, tuples_per_device=record.report.tuples_per_device
+            ),
+            failure_events=failure_events,
+            fault_injector=fault_injector,
+            transport=record.transport,
+        )
+        violations = check_all(
+            RunRecord(
+                result=run_result,
+                reference=_window_reference(engine, record.rows),
+                strategy=spec.strategy,
+                clean=clean,
+                validity_tolerance=config.validity_tolerance,
+                liability_max_share=config.liability_max_share,
+            )
+        )
+        windows.append(
+            WindowOutcome(
+                window_id=record.window_id,
+                index=record.index,
+                outcome=record.outcome,
+                violations=violations,
+                success=record.report.success,
+                degraded=record.report.degraded,
+                coverage=record.coverage,
+            )
+        )
+    for extra in (
+        _check_window_conservation(result),
+        _check_lease_conservation(engine),
+    ):
+        if extra is not None:
+            windows.append(extra)
+    return SoakOutcome(
+        spec=spec,
+        config=config,
+        result=result,
+        windows=windows,
+        failure_events=failure_events,
+        clean=clean,
+    )
+
+
+def _check_window_conservation(result: ContinuousResult) -> WindowOutcome | None:
+    """Every window in the horizon reached exactly one terminal state."""
+    total = result.completed + result.skipped + result.empty
+    if total == len(result.windows):
+        return None
+    return WindowOutcome(
+        window_id="<windows>",
+        index=-1,
+        outcome="accounting",
+        violations=[
+            Violation(
+                "window_conservation",
+                f"completed ({result.completed}) + skipped ({result.skipped})"
+                f" + empty ({result.empty}) != windows ({len(result.windows)})",
+                {
+                    "completed": result.completed,
+                    "skipped": result.skipped,
+                    "empty": result.empty,
+                    "windows": len(result.windows),
+                },
+            )
+        ],
+    )
+
+
+def _check_lease_conservation(engine: ContinuousEngine) -> WindowOutcome | None:
+    """No retired device holds a lease; reclaimed leases are flagged."""
+    violations: list[Violation] = []
+    registry = engine.registry
+    for device_id in registry.retired:
+        holder = registry.holder(device_id)
+        if holder is not None:
+            violations.append(
+                Violation(
+                    "lease_conservation",
+                    f"retired device {device_id} still leased to {holder}",
+                    {"device": device_id, "holder": holder},
+                )
+            )
+    for device_id, query_id in registry.flagged:
+        if device_id not in registry.retired:
+            violations.append(
+                Violation(
+                    "lease_conservation",
+                    f"flagged lease ({device_id}, {query_id}) but the "
+                    "device was never retired",
+                    {"device": device_id, "query": query_id},
+                )
+            )
+    if not violations:
+        return None
+    return WindowOutcome(
+        window_id="<leases>",
+        index=-1,
+        outcome="accounting",
+        violations=violations,
+    )

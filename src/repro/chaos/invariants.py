@@ -90,6 +90,7 @@ def _network_losses(report: Any) -> dict[str, float]:
             "dropped_timeout",
             "no_route",
             "to_dead_device",
+            "departed",
             "fault_dropped",
             "fault_corrupted",
         )

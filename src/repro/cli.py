@@ -17,7 +17,11 @@ A text substitute for the demonstration GUI.  Subcommands:
 * ``workload`` — run a deterministic multi-query workload (open- or
   closed-loop arrivals, admission control, exclusive device leases)
   over one shared swarm; ``--serial-check`` verifies every query's
-  report is byte-identical to a solo replay.
+  report is byte-identical to a solo replay;
+* ``continuous`` — run a standing query on a cadence over a churning
+  device population (seeded arrivals/departures/data refreshes,
+  incremental delta-stamp recollection); ``--check-invariants`` runs
+  the long-soak invariant suite on every window.
 
 ``run`` and ``kmeans`` accept ``--metrics-out PATH`` to write the
 telemetry JSONL export and ``--telemetry`` to print the summary table
@@ -37,6 +41,8 @@ Examples::
     python -m repro.cli chaos --workload 8 --failure-probability 0.004
     python -m repro.cli workload --queries 10 --arrival poisson --rate 2 \
         --max-concurrent 4 --serial-check --per-query
+    python -m repro.cli continuous --windows 15 --churn 0.10 \
+        --reliability --check-invariants --per-window --seed 7
 """
 
 from __future__ import annotations
@@ -265,6 +271,60 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the telemetry JSONL export to PATH")
     workload.add_argument("--telemetry", action="store_true",
                           help="print the telemetry summary table")
+
+    continuous = sub.add_parser(
+        "continuous",
+        help="run a standing query over a churning device population",
+    )
+    continuous.add_argument("--windows", type=int, default=10,
+                            help="window horizon (fires this many windows)")
+    continuous.add_argument("--cadence", type=float, default=20.0,
+                            help="virtual seconds between window fires")
+    continuous.add_argument("--window", choices=("tumbling", "sliding"),
+                            default="tumbling", help="window mode")
+    continuous.add_argument("--window-length", type=float, default=None,
+                            help="sliding-window freshness horizon "
+                                 "(defaults to the cadence)")
+    continuous.add_argument("--churn", type=float, default=0.0,
+                            metavar="P",
+                            help="per-window departure probability per device")
+    continuous.add_argument("--arrival-rate", type=float, default=None,
+                            help="contributor arrivals per window "
+                                 "(default: stationary — matches departures)")
+    continuous.add_argument("--data-change", type=float, default=0.0,
+                            metavar="P",
+                            help="per-window data-refresh probability "
+                                 "per contributor")
+    continuous.add_argument("--full-recollection", action="store_true",
+                            help="disable incremental delta stamps; re-ship "
+                                 "every contribution every window")
+    continuous.add_argument("--contributors", type=int, default=24)
+    continuous.add_argument("--processors", type=int, default=48)
+    continuous.add_argument("--cardinality", type=int, default=96)
+    continuous.add_argument("--max-raw", type=int, default=24)
+    continuous.add_argument("--strategy",
+                            choices=("overcollection", "backup"),
+                            default="overcollection")
+    continuous.add_argument("--sql", default=DEFAULT_SQL)
+    continuous.add_argument("--collection-window", type=float, default=5.0)
+    continuous.add_argument("--deadline", type=float, default=12.0)
+    continuous.add_argument("--reliability", action="store_true",
+                            help="per-window reliable transport and recovery")
+    continuous.add_argument("--standbys", type=int, default=0,
+                            help="extra devices leased per reliable window")
+    continuous.add_argument("--fault-mix", default=None, metavar="MIX",
+                            help="message-fault mix over the whole soak "
+                                 "(e.g. 'drop=0.05')")
+    continuous.add_argument("--check-invariants", action="store_true",
+                            help="run the full invariant suite on every "
+                                 "window (soak mode)")
+    continuous.add_argument("--seed", type=int, default=0)
+    continuous.add_argument("--per-window", action="store_true",
+                            help="print the per-window lineage table")
+    continuous.add_argument("--metrics-out", metavar="PATH", default=None,
+                            help="write the telemetry JSONL export to PATH")
+    continuous.add_argument("--telemetry", action="store_true",
+                            help="print the telemetry summary table")
 
     advise = sub.add_parser(
         "advise", help="recommend a resiliency strategy for a query"
@@ -671,6 +731,135 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_continuous(args: argparse.Namespace) -> int:
+    from repro.continuous import StandingQuerySpec
+    from repro.devices.churn import ChurnSpec
+
+    spec = StandingQuerySpec(
+        cadence=args.cadence,
+        max_windows=args.windows,
+        window=args.window,
+        window_length=args.window_length,
+        snapshot_cardinality=args.cardinality,
+        max_raw_per_edgelet=args.max_raw,
+        strategy=args.strategy,
+        collection_window=args.collection_window,
+        deadline=args.deadline,
+        reliability=args.reliability,
+        incremental=not args.full_recollection,
+        seed=args.seed,
+        sql=args.sql,
+    )
+    churn = None
+    if args.churn > 0 or args.data_change > 0 or args.arrival_rate:
+        churn = ChurnSpec(
+            departure_probability=args.churn,
+            contributor_arrival_rate=args.arrival_rate,
+            data_change_probability=args.data_change,
+            seed=args.seed,
+        )
+    telemetry = Telemetry()
+    exit_code = 0
+    if args.check_invariants:
+        from repro.chaos import ContinuousChaosConfig, parse_fault_mix, run_soak
+
+        config = ContinuousChaosConfig(
+            n_contributors=args.contributors,
+            n_processors=args.processors,
+            churn=churn,
+            fault_specs=(
+                parse_fault_mix(args.fault_mix) if args.fault_mix else ()
+            ),
+            standby_count=args.standbys,
+        )
+        outcome = run_soak(spec, config, telemetry=telemetry)
+        result = outcome.result
+        print(
+            f"continuous soak: seed={spec.seed} windows={spec.max_windows} "
+            f"cadence={spec.cadence} churn={args.churn} clean={outcome.clean}"
+        )
+        if args.per_window:
+            print(
+                _render_rows(
+                    ["window", "outcome", "success", "degraded", "coverage",
+                     "violations"],
+                    outcome.summary_rows(),
+                )
+            )
+        for window_id, violation in outcome.violations:
+            print(f"  {window_id}: {violation.invariant} — {violation.detail}")
+        if outcome.ok:
+            print("all invariants held for every window")
+        else:
+            print(f"{len(outcome.violations)} invariant violation(s)")
+            exit_code = 1
+    else:
+        from repro.continuous import ContinuousEngine
+
+        if args.fault_mix:
+            from repro.chaos import parse_fault_mix
+
+            fault_specs = parse_fault_mix(args.fault_mix)
+        else:
+            fault_specs = None
+        engine = ContinuousEngine(
+            spec,
+            churn=churn,
+            n_contributors=args.contributors,
+            n_processors=args.processors,
+            telemetry=telemetry,
+            standby_count=args.standbys,
+            fault_specs=fault_specs,
+        )
+        result = engine.run()
+        print(
+            f"continuous: seed={spec.seed} windows={spec.max_windows} "
+            f"cadence={spec.cadence} window={spec.window} "
+            f"incremental={spec.incremental}"
+        )
+        if args.per_window:
+            rows = []
+            for record in result.windows:
+                stats = record.incremental
+                rows.append([
+                    record.window_id,
+                    record.outcome,
+                    len(record.population),
+                    len(record.eligible),
+                    f"{record.overlap_with_previous:.2f}",
+                    "-" if record.coverage is None else f"{record.coverage:.2f}",
+                    stats.get("stamped", 0),
+                    stats.get("full", 0),
+                    record.window_bytes,
+                ])
+            print(_render_rows(
+                ["window", "outcome", "pop", "eligible", "overlap",
+                 "coverage", "stamped", "full", "bytes"],
+                rows,
+            ))
+    summary = result.summary()
+    print(
+        f"  completed={summary['completed']} skipped={summary['skipped']} "
+        f"empty={summary['empty']} succeeded={summary['succeeded']} "
+        f"degraded={summary['degraded']}"
+    )
+    print(
+        f"  population={summary['final_population']} "
+        f"mean_overlap={summary['mean_overlap']:.2%} "
+        f"mean_coverage={summary['mean_coverage']:.2%}"
+    )
+    print(
+        f"  bytes/window={summary['bytes_per_window']:.0f} "
+        f"messages/window={summary['messages_per_window']:.1f} "
+        f"stamps={summary.get('incremental_stamped', 0)} "
+        f"bytes_saved={summary.get('incremental_bytes_saved', 0)}"
+    )
+    _emit_telemetry(args, telemetry)
+    if summary["completed"] + summary["skipped"] + summary["empty"] != spec.max_windows:
+        exit_code = 1
+    return exit_code
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.core.advisor import QueryProperties, recommend_strategy
 
@@ -698,6 +887,7 @@ _COMMANDS = {
     "resiliency": _cmd_resiliency,
     "chaos": _cmd_chaos,
     "workload": _cmd_workload,
+    "continuous": _cmd_continuous,
     "advise": _cmd_advise,
 }
 

@@ -85,10 +85,17 @@ def assign_operators(
     """Assign every Data Processor operator of ``plan`` to a device.
 
     Candidates are ranked per operator by
-    ``H(device | query_id | op_id)``; the best-ranked *free* device
+    ``H(device | placement_key | op_id)``; the best-ranked *free* device
     wins.  With ``exclusive=True`` (the default, matching the paper's
     crowd-liability goal) a device runs at most one operator; the
     function raises :class:`AssignmentError` when processors run out.
+
+    The placement key defaults to the query id; a standing query plans
+    every window with one fixed key (``QuerySpec.placement_key``) so an
+    unchanged candidate pool re-derives an unchanged assignment —
+    sticky placement, without which incremental partition maintenance
+    would re-ship every contribution to a freshly-hashed builder each
+    window.
 
     The assignment is written into ``operator.assigned_to`` and also
     returned as a :class:`SecureAssignment`.
@@ -96,6 +103,7 @@ def assign_operators(
     processors = sorted(set(processor_ids))
     if not processors:
         raise AssignmentError("no processing edgelets available")
+    placement_key = plan.metadata.get("placement_key") or plan.query_id
     assignment = SecureAssignment(query_id=plan.query_id)
     taken: set[str] = set()
     data_processors = [
@@ -109,7 +117,7 @@ def assign_operators(
     for operator in data_processors:
         ranked = sorted(
             processors,
-            key=lambda device: _digest(device, plan.query_id, operator.op_id),
+            key=lambda device: _digest(device, placement_key, operator.op_id),
         )
         chosen = None
         for device in ranked:

@@ -61,6 +61,15 @@ class QuerySpec:
         kmeans_k: number of clusters (``kmeans`` only).
         feature_columns: numeric columns clustered (``kmeans`` only).
         heartbeats: heartbeat count before the deadline (``kmeans``).
+        placement_key: the identifier hashed into the secure routing
+            and assignment digests; defaults to ``query_id``.  A
+            standing query passes one key for every window so that —
+            with an unchanged candidate pool — each contributor keeps
+            its Snapshot Builder and each operator its device across
+            windows (*sticky placement*, the substrate of incremental
+            partition maintenance).  Still nothing an adversary can
+            steer: the key is fixed before any window's candidate keys
+            are known.
     """
 
     query_id: str
@@ -70,6 +79,7 @@ class QuerySpec:
     kmeans_k: int = 3
     feature_columns: tuple[str, ...] = ()
     heartbeats: int = 5
+    placement_key: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("aggregate", "kmeans"):
@@ -78,6 +88,8 @@ class QuerySpec:
             raise ValueError("snapshot_cardinality must be positive")
         if self.kind == "aggregate" and self.group_by is None:
             raise ValueError("aggregate queries need a group_by")
+        if self.placement_key is not None and not self.placement_key:
+            raise ValueError("placement_key must be non-empty when given")
         if self.kind == "kmeans":
             if not self.feature_columns:
                 raise ValueError("kmeans queries need feature_columns")
@@ -85,6 +97,11 @@ class QuerySpec:
                 raise ValueError("kmeans_k must be positive")
             if self.heartbeats <= 0:
                 raise ValueError("heartbeats must be positive")
+
+    @property
+    def effective_placement_key(self) -> str:
+        """The key the routing/assignment digests hash."""
+        return self.placement_key or self.query_id
 
     def collected_columns(self) -> list[str]:
         """Columns the Snapshot Builders must collect."""
@@ -304,6 +321,7 @@ class EdgeletPlanner:
                 "kmeans_k": spec.kmeans_k if spec.kind == "kmeans" else None,
                 "group_by": spec.group_by.to_dict() if spec.group_by else None,
                 "feature_columns": list(spec.feature_columns),
+                "placement_key": spec.effective_placement_key,
             },
         )
         total = config.total_partitions
@@ -323,7 +341,9 @@ class EdgeletPlanner:
                 params={"device": contributor},
                 op_id=f"contrib[{contributor}]",
             )
-            target = contributor_builder(contributor, builder_ids, spec.query_id)
+            target = contributor_builder(
+                contributor, builder_ids, spec.effective_placement_key
+            )
             plan.connect(leaf, target)
 
         combiner = plan.new_operator(
@@ -414,6 +434,7 @@ class EdgeletPlanner:
                 "kmeans_k": spec.kmeans_k if spec.kind == "kmeans" else None,
                 "group_by": spec.group_by.to_dict() if spec.group_by else None,
                 "feature_columns": list(spec.feature_columns),
+                "placement_key": spec.effective_placement_key,
             },
         )
         builders = []
@@ -434,7 +455,9 @@ class EdgeletPlanner:
                 params={"device": contributor},
                 op_id=f"contrib[{contributor}]",
             )
-            target = contributor_builder(contributor, primary_builder_ids, spec.query_id)
+            target = contributor_builder(
+                contributor, primary_builder_ids, spec.effective_placement_key
+            )
             plan.connect(leaf, target)
             for rank in range(1, replicas + 1):
                 plan.connect(leaf, f"{target}.b{rank}")

@@ -15,6 +15,7 @@ module                    owns
 :mod:`.querier`           final-result dedup and report assembly
 :mod:`.strategy`          Overcollection / Backup resiliency policies
 :mod:`.recovery`          phase watchdogs and standby reprovisioning
+:mod:`.incremental`       cross-window contribution cache (delta stamps)
 :mod:`.coordinator`       routing, dedup, phase timers, run horizon
 ========================  ==============================================
 
@@ -28,6 +29,7 @@ from repro.core.runtime.computer import ComputerRuntime
 from repro.core.runtime.context import ExecutionContext
 from repro.core.runtime.contributor import ContributorRuntime
 from repro.core.runtime.coordinator import ExecutionCoordinator, infer_strategy
+from repro.core.runtime.incremental import STAMP_BYTES, ContributionCache
 from repro.core.runtime.querier import QuerierRuntime
 from repro.core.runtime.recovery import RecoveryConfig, RecoveryRuntime
 from repro.core.runtime.report import ExecutionError, ExecutionReport, KMeansOutcome
@@ -43,6 +45,7 @@ __all__ = [
     "CombinerRuntime",
     "CombinerState",
     "ComputerRuntime",
+    "ContributionCache",
     "ContributorRuntime",
     "ExecutionContext",
     "ExecutionCoordinator",
@@ -53,6 +56,7 @@ __all__ = [
     "QuerierRuntime",
     "RecoveryConfig",
     "RecoveryRuntime",
+    "STAMP_BYTES",
     "StrategyRuntime",
     "commit_snapshot",
     "infer_strategy",

@@ -87,7 +87,10 @@ class BuilderRuntime:
         partition_index = payload["partition_index"]
         if ctx.is_duplicate_contribution(partition_index, payload):
             return
-        rows = payload["rows"]
+        rows = ctx.resolve_contribution(device, payload)
+        if rows is None:
+            ctx.count_dropped_payload("stale_stamp")
+            return
         bucket = self.rows_by_partition.get(partition_index)
         if bucket is None:
             return

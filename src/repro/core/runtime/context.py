@@ -50,6 +50,7 @@ class ExecutionContext:
         seed: int = 0,
         transport: Any = None,
         recovery: Any = None,
+        contribution_cache: Any = None,
     ):
         if contribution_copies < 1:
             raise ExecutionError("contribution_copies must be at least 1")
@@ -64,6 +65,11 @@ class ExecutionContext:
         # optional RecoveryConfig (repro.core.runtime.recovery); ``None``
         # disables watchdogs, reprovisioning, and graceful degradation
         self.recovery = recovery
+        # optional ContributionCache (repro.core.runtime.incremental);
+        # ``None`` ships every contribution in full — the one-shot
+        # behaviour.  A standing-query engine threads one cache through
+        # consecutive windows so unchanged contributions travel as stamps.
+        self.contribution_cache = contribution_cache
         self.devices = devices
         self.plan = plan
         # All phase boundaries are relative to the execution's start
@@ -316,6 +322,30 @@ class ExecutionContext:
             )
             self.count_dropped_payload("unauthenticated")
             return None
+
+    def resolve_contribution(
+        self, receiver: Edgelet, payload: dict[str, Any]
+    ) -> list[dict[str, Any]] | None:
+        """Rows carried by a contribution payload, stamps included.
+
+        A full payload carries ``rows`` directly.  A delta stamp (sent
+        when a :class:`~repro.core.runtime.incremental.ContributionCache`
+        is active and the edge's retained digest still matches) carries
+        only ``stamp``/``contributor`` and resolves against the cache on
+        the receiving device's side.  ``None`` means the payload could
+        not be materialized — stale stamp after churn invalidation — and
+        must be dropped; the sender falls back to full recollection on
+        the next window.
+        """
+        rows = payload.get("rows")
+        if rows is not None:
+            return rows
+        cache = self.contribution_cache
+        stamp = payload.get("stamp")
+        contributor = payload.get("contributor")
+        if cache is None or stamp is None or contributor is None:
+            return None
+        return cache.resolve(contributor, receiver.device_id, stamp)
 
     def is_duplicate_contribution(
         self, dedup_key: Any, payload: dict[str, Any]

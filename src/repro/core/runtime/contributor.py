@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.qep import OperatorRole
 from repro.core.runtime.context import ExecutionContext
+from repro.core.runtime.incremental import STAMP_BYTES
 from repro.core.runtime.report import ExecutionError
 from repro.network.messages import MessageKind
 
@@ -64,18 +65,43 @@ class ContributorRuntime:
             rows = device.contribute(predicate, ctx.collected_columns)
             if not rows:
                 return
+            cache = ctx.contribution_cache
+            digest = cache.digest(rows) if cache is not None else None
+            full_size = 96 * len(rows)
             for consumer in consumers:
                 target = ctx.device_of(consumer)
+                base = {
+                    "op_id": consumer.op_id,
+                    "partition_index": consumer.params["partition_index"],
+                    "contribution_id": f"{device.fingerprint}:{consumer.op_id}",
+                }
+                if cache is not None and cache.match(
+                    device.device_id, target.device_id, digest
+                ):
+                    # Unchanged rows to an unchanged builder: ship a
+                    # delta stamp the builder resolves from its retained
+                    # copy instead of re-shipping the full partition slice.
+                    cache.count_stamp(full_size)
+                    ctx.ship(
+                        device,
+                        target,
+                        MessageKind.CONTRIBUTION,
+                        {
+                            **base,
+                            "contributor": device.device_id,
+                            "stamp": digest,
+                        },
+                        size_hint=STAMP_BYTES,
+                    )
+                    continue
+                if cache is not None:
+                    cache.store(device.device_id, target.device_id, digest, rows)
+                    cache.count_full()
                 ctx.ship(
                     device,
                     target,
                     MessageKind.CONTRIBUTION,
-                    {
-                        "op_id": consumer.op_id,
-                        "partition_index": consumer.params["partition_index"],
-                        "contribution_id": f"{device.fingerprint}:{consumer.op_id}",
-                        "rows": rows,
-                    },
-                    size_hint=96 * len(rows),
+                    {**base, "rows": rows},
+                    size_hint=full_size,
                 )
         return fire

@@ -118,6 +118,7 @@ class ExecutionCoordinator:
         transport: Any = None,
         recovery: RecoveryConfig | None = None,
         standby_devices: list[str] | None = None,
+        contribution_cache: Any = None,
     ):
         self.ctx = ExecutionContext(
             simulator=simulator,
@@ -134,6 +135,7 @@ class ExecutionCoordinator:
             seed=seed,
             transport=transport,
             recovery=recovery,
+            contribution_cache=contribution_cache,
         )
         self.contributor = ContributorRuntime(self.ctx)
         self.builder = BuilderRuntime(self.ctx)

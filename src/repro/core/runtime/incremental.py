@@ -1,0 +1,144 @@
+"""Incremental partition maintenance across standing-query windows.
+
+A standing query re-executes on a cadence, and most of a window's
+collection traffic is redundant: a contributor whose rows have not
+changed since the previous window re-ships the exact same payload to
+the exact same Snapshot Builder.  The :class:`ContributionCache` turns
+that redundancy into savings — the device-local retained state both
+ends of a contribution edge would keep in a real deployment:
+
+* the **contributor side** remembers, per ``(contributor, builder)``
+  edge, the digest of the rows last shipped in full.  When the current
+  rows hash to the same digest *and* the partition's builder device is
+  unchanged, the contributor ships a ~:data:`STAMP_BYTES` delta stamp
+  instead of the full payload;
+* the **builder side** resolves a received stamp back to the retained
+  rows.  A stamp that no longer resolves (the cache was invalidated
+  between send and receive — churn took the edge down) is dropped and
+  counted, and the *next* window falls back to full recollection
+  because the digest/edge no longer matches at send time.
+
+Churn invalidation is the cache's whole correctness story: when a
+device departs, :meth:`invalidate_device` removes every edge touching
+it, so a re-assigned partition (new builder device) or a fresh
+contributor can never be served stale rows — the edge key misses and
+the full payload is shipped and re-retained.
+
+The cache is deliberately a *core*-layer object with no upward
+imports: the continuous engine (an upper layer) constructs one, threads
+it through consecutive windows' :class:`~repro.core.runtime.
+ExecutionCoordinator`\\ s, and reads the per-window savings counters.
+One execution alone never benefits — the cache only pays off across
+windows, which is exactly the standing-query shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["STAMP_BYTES", "ContributionCache"]
+
+#: Wire size of a delta stamp (digest + partition coordinates) — the
+#: floor the opportunistic network charges per message anyway.
+STAMP_BYTES = 40
+
+
+def contribution_digest(rows: list[dict[str, Any]]) -> str:
+    """Order-sensitive canonical digest of a contribution's rows."""
+    document = json.dumps(rows, sort_keys=True, default=repr)
+    return hashlib.sha256(document.encode()).hexdigest()[:24]
+
+
+class ContributionCache:
+    """Retained contribution state shared by both ends of each edge.
+
+    Keys are ``(contributor_device_id, builder_device_id)`` — one entry
+    per dataflow edge, so Backup replicas (distinct builder devices for
+    the same partition) each maintain their own retained copy, exactly
+    like real device-local storage would.
+    """
+
+    def __init__(self) -> None:
+        # (contributor, builder) -> (digest, retained rows)
+        self._entries: dict[tuple[str, str], tuple[str, list[dict[str, Any]]]] = {}
+        # counters since the last take_window_stats() call
+        self.stamped = 0
+        self.full = 0
+        self.bytes_saved = 0
+        self.stale_stamps = 0
+
+    digest = staticmethod(contribution_digest)
+
+    # -- contributor side ---------------------------------------------------
+
+    def match(self, contributor: str, builder: str, digest: str) -> bool:
+        """True when the edge's retained digest equals ``digest`` — the
+        contributor may ship a stamp instead of the full rows."""
+        entry = self._entries.get((contributor, builder))
+        return entry is not None and entry[0] == digest
+
+    def store(
+        self,
+        contributor: str,
+        builder: str,
+        digest: str,
+        rows: list[dict[str, Any]],
+    ) -> None:
+        """Retain a full shipment on its edge (both ends keep a copy)."""
+        self._entries[(contributor, builder)] = (digest, [dict(r) for r in rows])
+
+    def count_stamp(self, full_size: int) -> None:
+        """Account one stamped shipment that replaced ``full_size`` bytes."""
+        self.stamped += 1
+        self.bytes_saved += max(full_size, 64) - max(STAMP_BYTES, 64)
+
+    def count_full(self) -> None:
+        self.full += 1
+
+    # -- builder side -------------------------------------------------------
+
+    def resolve(
+        self, contributor: str, builder: str, digest: str
+    ) -> list[dict[str, Any]] | None:
+        """Map a received stamp back to the retained rows, or ``None``
+        when the edge was invalidated since the stamp was sent."""
+        entry = self._entries.get((contributor, builder))
+        if entry is None or entry[0] != digest:
+            self.stale_stamps += 1
+            return None
+        return [dict(r) for r in entry[1]]
+
+    # -- churn invalidation -------------------------------------------------
+
+    def invalidate_device(self, device_id: str) -> int:
+        """Drop every edge touching a departed device; returns the
+        number of entries removed (full recollection follows)."""
+        stale = [
+            key for key in self._entries if device_id in key
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def entries(self) -> int:
+        return len(self._entries)
+
+    def take_window_stats(self) -> dict[str, int]:
+        """Return and reset the counters accumulated since the last take
+        (the continuous engine calls this once per window boundary)."""
+        stats = {
+            "stamped": self.stamped,
+            "full": self.full,
+            "bytes_saved": self.bytes_saved,
+            "stale_stamps": self.stale_stamps,
+        }
+        self.stamped = 0
+        self.full = 0
+        self.bytes_saved = 0
+        self.stale_stamps = 0
+        return stats

@@ -194,7 +194,11 @@ class BackupStrategy(StrategyRuntime):
         room = cap - len(bucket)
         if room <= 0:
             return
-        accepted = payload["rows"][:room]
+        rows = ctx.resolve_contribution(device, payload)
+        if rows is None:
+            ctx.count_dropped_payload("stale_stamp")
+            return
+        accepted = rows[:room]
         bucket.extend(accepted)
         ctx.count_tuples(device.device_id, len(accepted))
 

@@ -13,7 +13,9 @@ STM32+TPM — at the level of the *guarantees* they provide:
   used before any operator assignment;
 * :mod:`repro.devices.datastore` — the owner's local personal datastore
   (the µ-SD card of the home box);
-* :mod:`repro.devices.edgelet` — the edgelet device tying it together.
+* :mod:`repro.devices.edgelet` — the edgelet device tying it together;
+* :mod:`repro.devices.churn` — seeded arrival/departure renewal
+  processes over the device population (standing-query churn).
 """
 
 from repro.devices.tee import TEEKind, TrustedExecutionEnvironment, SealedGlassObserver
@@ -21,10 +23,13 @@ from repro.devices.profiles import DeviceProfile, HOME_BOX, PC_SGX, SMARTPHONE, 
 from repro.devices.attestation import AttestationAuthority, AttestationError, Quote
 from repro.devices.datastore import LocalDatastore
 from repro.devices.edgelet import Edgelet
+from repro.devices.churn import ChurnModel, ChurnSpec, WindowChurn
 
 __all__ = [
     "AttestationAuthority",
     "AttestationError",
+    "ChurnModel",
+    "ChurnSpec",
     "DeviceProfile",
     "Edgelet",
     "HOME_BOX",
@@ -35,5 +40,6 @@ __all__ = [
     "SealedGlassObserver",
     "TEEKind",
     "TrustedExecutionEnvironment",
+    "WindowChurn",
     "profile_by_name",
 ]

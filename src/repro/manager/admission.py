@@ -50,6 +50,12 @@ class LeaseError(RuntimeError):
 class DeviceLeaseRegistry:
     """Exclusive data-processor leases over the shared swarm.
 
+    The pool may churn mid-run: :meth:`register_device` admits a new
+    arrival, :meth:`retire_device` removes a departure and *reclaims*
+    any lease it held, flagging the holding query (see :attr:`flagged`).
+    The conservation property the tests assert: at no point does a
+    retired device hold a lease.
+
     Args:
         clock: returns the current virtual time (busy-time accounting);
             defaults to a constant 0 clock for tests that only care
@@ -62,12 +68,77 @@ class DeviceLeaseRegistry:
         self._held: dict[str, list[str]] = {}  # query_id -> [device_id]
         self._leased_since: dict[str, float] = {}
         self._busy_time: dict[str, float] = {}
+        # dynamic membership (opt-in): None means the legacy untracked
+        # mode where any pool id may be leased; once register_device is
+        # called, only registered-and-not-retired devices are leasable
+        self._members: set[str] | None = None
+        self._retired: set[str] = set()
+        # (device_id, query_id) pairs whose lease was forcibly reclaimed
+        # by retirement while the query was still running — the query
+        # must treat the device as crashed (conservation audit trail)
+        self.flagged: list[tuple[str, str]] = []
+
+    # -- dynamic membership --------------------------------------------------
+
+    def register_device(self, device_id: str) -> None:
+        """Admit a device to the leasable population (mid-run churn).
+
+        Raises:
+            LeaseError: the id was previously retired — device ids are
+                never recycled, a departed owner does not come back.
+        """
+        if device_id in self._retired:
+            raise LeaseError(f"device {device_id} was retired; ids are not reused")
+        if self._members is None:
+            self._members = set()
+        self._members.add(device_id)
+
+    def retire_device(self, device_id: str) -> str | None:
+        """Permanently remove a device from the leasable population.
+
+        If the device is under lease, the lease is reclaimed *now* and
+        the holding query is flagged (recorded in :attr:`flagged`) — the
+        conservation rule: a retired device's lease is either already
+        free or reclaimed-and-flagged, never silently kept.  Returns the
+        flagged query id, or ``None`` when the device was idle.
+        """
+        holder = self._holder.pop(device_id, None)
+        if holder is not None:
+            held = self._held.get(holder)
+            if held is not None and device_id in held:
+                held.remove(device_id)
+            since = self._leased_since.pop(device_id, None)
+            if since is not None:
+                self._busy_time[device_id] = (
+                    self._busy_time.get(device_id, 0.0) + (self._clock() - since)
+                )
+            self.flagged.append((device_id, holder))
+        if self._members is not None:
+            self._members.discard(device_id)
+        self._retired.add(device_id)
+        return holder
+
+    def is_member(self, device_id: str) -> bool:
+        """Leasable right now (registered or legacy-untracked, not retired)."""
+        if device_id in self._retired:
+            return False
+        return self._members is None or device_id in self._members
+
+    @property
+    def retired(self) -> frozenset[str]:
+        return frozenset(self._retired)
 
     # -- leasing ------------------------------------------------------------
 
     def free(self, pool: Iterable[str]) -> list[str]:
-        """The subset of ``pool`` not currently leased, in pool order."""
-        return [d for d in pool if d not in self._holder]
+        """The subset of ``pool`` not currently leased, in pool order.
+
+        Retired (and, in tracked mode, unregistered) devices are never
+        free: they cannot be offered to a new query.
+        """
+        return [
+            d for d in pool if d not in self._holder and self.is_member(d)
+        ]
 
     def lease(self, query_id: str, device_ids: Iterable[str]) -> list[str]:
         """Take an exclusive lease on every device, all-or-nothing.
@@ -82,6 +153,11 @@ class DeviceLeaseRegistry:
             if holder is not None:
                 raise LeaseError(
                     f"device {device_id} already leased to {holder} "
+                    f"(requested by {query_id})"
+                )
+            if not self.is_member(device_id):
+                raise LeaseError(
+                    f"device {device_id} is not a live member "
                     f"(requested by {query_id})"
                 )
         now = self._clock()

@@ -213,10 +213,10 @@ class Scenario:
 
     # -- construction ----------------------------------------------------------
 
-    def _pick_profile(self) -> DeviceProfile:
+    def _pick_profile(self, rng: random.Random | None = None) -> DeviceProfile:
         pc, phone, box = self.config.device_mix
         total = pc + phone + box
-        roll = self._rng.random() * total
+        roll = (rng or self._rng).random() * total
         if roll < pc:
             return PC_SGX
         if roll < pc + phone:
@@ -294,6 +294,70 @@ class Scenario:
                 topology.add_link(a, b, worse)
         return network
 
+    # -- dynamic membership (standing-query churn) -----------------------------
+
+    def _spawn(self, kind: str, index: int) -> Edgelet:
+        """Mint one device mid-run under the canonical identity scheme.
+
+        The id and key seed follow exactly the construction-time pattern
+        (``{tag}-{kind}-{index:05d}``), and the profile draw comes from a
+        private stream keyed by ``(tag, kind, index, seed)`` — so a
+        device spawned at window 7 of one run is bit-identical to the
+        same index spawned at window 7 of a replay, independent of what
+        else the scenario RNG was used for in between.
+        """
+        device_id = f"{self.tag}-{kind}-{index:05d}"
+        if device_id in self.devices:
+            raise ValueError(f"device {device_id} already exists")
+        rng = random.Random(f"{self.tag}-spawn-{kind}-{index}-{self.config.seed}")
+        device = Edgelet(
+            self._pick_profile(rng),
+            device_id=device_id,
+            seed=f"{self.tag}-{kind}-{index}-{self.config.seed}".encode(),
+        )
+        self.devices[device_id] = device
+        self.authority.register_device(device.tee)
+        topology = self.network.topology
+        topology.add_device(device_id)
+        for other_id, other in self.devices.items():
+            if other_id == device_id:
+                continue
+            quality = device.profile.link
+            other_quality = other.profile.link
+            worse = (
+                quality
+                if quality.base_latency >= other_quality.base_latency
+                else other_quality
+            )
+            topology.add_link(device_id, other_id, worse)
+        return device
+
+    def spawn_contributor(self, index: int) -> Edgelet:
+        """Add a new Data Contributor device to the live swarm."""
+        device = self._spawn("contrib", index)
+        self.contributors.append(device)
+        return device
+
+    def spawn_processor(self, index: int) -> Edgelet:
+        """Add a new processor-eligible device to the live swarm."""
+        device = self._spawn("proc", index)
+        self.processors.append(device)
+        return device
+
+    def retire_device(self, device_id: str) -> None:
+        """Drop a departed device from the contributor/processor pools.
+
+        The :class:`Edgelet` stays resolvable in :attr:`devices` — an
+        in-flight execution still needs to look the operator's device up
+        to discover it is gone — but no future plan will include it.
+        """
+        self.contributors = [
+            d for d in self.contributors if d.device_id != device_id
+        ]
+        self.processors = [
+            d for d in self.processors if d.device_id != device_id
+        ]
+
     # -- execution ------------------------------------------------------------
 
     def attest_processors(self) -> list[Edgelet]:
@@ -327,12 +391,18 @@ class Scenario:
         spec: QuerySpec,
         privacy: PrivacyParameters | None = None,
         resiliency: ResiliencyParameters | None = None,
+        contributor_ids: list[str] | None = None,
     ) -> QueryExecutionPlan:
-        """Plan one query over this scenario's contributors (unassigned)."""
+        """Plan one query over this scenario's contributors (unassigned).
+
+        ``contributor_ids`` overrides the contributor set — the
+        continuous engine passes each window's live (and, for sliding
+        windows, fresh-data) subset of a churning population.
+        """
         planner = EdgeletPlanner(privacy=privacy, resiliency=resiliency)
-        return planner.plan(
-            spec, contributor_ids=[d.device_id for d in self.contributors]
-        )
+        if contributor_ids is None:
+            contributor_ids = [d.device_id for d in self.contributors]
+        return planner.plan(spec, contributor_ids=contributor_ids)
 
     def assign_query(
         self, plan: QueryExecutionPlan, processor_ids: list[str] | None = None

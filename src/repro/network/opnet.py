@@ -63,7 +63,7 @@ class DeliveryReceipt:
 
     message_id: int
     outcome: str  # "delivered", "lost", "dropped_timeout", "no_route",
-    #               "dead", "dropped_fault"
+    #               "dead", "departed", "dropped_fault"
     latency: float | None = None
 
 
@@ -77,6 +77,7 @@ class NetworkStats:
         self.dropped_timeout = 0
         self.no_route = 0
         self.to_dead_device = 0
+        self.departed = 0
         self.fault_dropped = 0
         self.fault_duplicated = 0
         self.fault_delayed = 0
@@ -97,6 +98,7 @@ class NetworkStats:
             "dropped_timeout": self.dropped_timeout,
             "no_route": self.no_route,
             "to_dead_device": self.to_dead_device,
+            "departed": self.departed,
             "fault_dropped": self.fault_dropped,
             "fault_duplicated": self.fault_duplicated,
             "fault_delayed": self.fault_delayed,
@@ -145,6 +147,11 @@ class OpportunisticNetwork:
         self._handlers: dict[str, Handler] = {}
         self._online: dict[str, bool] = {}
         self._dead: set[str] = set()
+        # graceful permanent departures (churn); unlike _dead this set
+        # survives reset(): a departed device belongs to no future run
+        # on this network instance, so neither reset nor a later attach
+        # may resurrect its handler or its draws
+        self._departed: set[str] = set()
         self._inboxes: dict[str, list[tuple[float, Message]]] = {}
         self._receipts: list[DeliveryReceipt] = []
         # optional chaos hook (see repro.network.faults.MessageFaultInjector);
@@ -160,6 +167,7 @@ class OpportunisticNetwork:
         self._m_dropped = metrics.counter("net.messages_dropped_timeout")
         self._m_no_route = metrics.counter("net.messages_no_route")
         self._m_dead = metrics.counter("net.messages_to_dead_device")
+        self._m_departed = metrics.counter("net.messages_to_departed_device")
         self._m_bytes_sent = metrics.counter("net.bytes_sent")
         self._m_bytes_delivered = metrics.counter("net.bytes_delivered")
         self._g_buffered = metrics.gauge("net.store_and_forward_occupancy")
@@ -172,7 +180,15 @@ class OpportunisticNetwork:
     # -- device lifecycle -------------------------------------------------
 
     def attach(self, device_id: str, handler: Handler) -> None:
-        """Register a device and its message handler (initially online)."""
+        """Register a device and its message handler (initially online).
+
+        Registration is epoch-fenced against churn: attaching an id that
+        has permanently :meth:`leave`\\ -d is a silent no-op, so neither a
+        late re-attach by an in-flight execution nor a :meth:`reset` can
+        resurrect a departed device.
+        """
+        if device_id in self._departed:
+            return
         self.topology.add_device(device_id)
         self._handlers[device_id] = handler
         self._online.setdefault(device_id, True)
@@ -183,17 +199,46 @@ class OpportunisticNetwork:
         return self._online.get(device_id, False) and device_id not in self._dead
 
     def is_dead(self, device_id: str) -> bool:
-        """Whether the device has permanently crashed."""
-        return device_id in self._dead
+        """Whether the device has permanently crashed or departed."""
+        return device_id in self._dead or device_id in self._departed
+
+    def has_departed(self, device_id: str) -> bool:
+        """Whether the device has gracefully left the swarm for good."""
+        return device_id in self._departed
 
     def set_online(self, device_id: str, online: bool) -> None:
         """Toggle temporary connectivity; reconnection flushes the inbox."""
-        if device_id in self._dead:
+        if device_id in self._dead or device_id in self._departed:
             return
         was_online = self._online.get(device_id, False)
         self._online[device_id] = online
         if online and not was_online:
             self._flush_inbox(device_id)
+
+    def leave(self, device_id: str) -> None:
+        """Graceful permanent departure (churn), fenced across resets.
+
+        The device's handler is deregistered, buffered messages are
+        discarded (counted under ``departed``), and the id joins the
+        departed set that :meth:`reset` preserves and :meth:`attach`
+        refuses — so no later run, retry, or no-op churn replay can
+        bring the device (or draws on its behalf) back.  Unlike
+        :meth:`kill` this is not a fault: the owner walked away.
+        """
+        if device_id in self._departed:
+            return
+        self._departed.add(device_id)
+        self._online[device_id] = False
+        self._handlers.pop(device_id, None)
+        dropped = self._inboxes.pop(device_id, [])
+        self._inboxes[device_id] = []
+        for _, message in dropped:
+            self.stats.departed += 1
+            self._m_departed.inc()
+            self._g_buffered.dec()
+            self._receipts.append(
+                DeliveryReceipt(message.message_id, "departed")
+            )
 
     def kill(self, device_id: str) -> None:
         """Permanently crash a device; buffered messages are discarded."""
@@ -230,7 +275,12 @@ class OpportunisticNetwork:
         self._message_ids = itertools.count(1)
         self._dead.clear()
         self._receipts.clear()
+        # _departed deliberately survives: reset() rewinds dynamic state
+        # of the *population that remains*, it does not re-admit devices
+        # whose owners permanently left mid-history
         for device_id in self._handlers:
+            if device_id in self._departed:
+                continue
             self._online[device_id] = True
             self._inboxes[device_id] = []
         self._g_buffered.set(0)
@@ -260,6 +310,11 @@ class OpportunisticNetwork:
         sent_counter.inc()
         self._m_bytes_sent.inc(message.size_bytes)
 
+        if message.recipient in self._departed:
+            self.stats.departed += 1
+            self._m_departed.inc()
+            self._receipts.append(DeliveryReceipt(message.message_id, "departed"))
+            return
         if message.recipient in self._dead:
             self.stats.to_dead_device += 1
             self._m_dead.inc()
@@ -404,6 +459,11 @@ class OpportunisticNetwork:
     def _arrive(self, message: Message) -> None:
         """A message physically reaches its destination's radio."""
         recipient = message.recipient
+        if recipient in self._departed:
+            self.stats.departed += 1
+            self._m_departed.inc()
+            self._receipts.append(DeliveryReceipt(message.message_id, "departed"))
+            return
         if recipient in self._dead:
             self.stats.to_dead_device += 1
             self._m_dead.inc()

@@ -13,7 +13,12 @@ from repro.workload.engine import (
     WorkloadResult,
     serial_fingerprints,
 )
-from repro.workload.fingerprint import canonical_report, report_fingerprint
+from repro.workload.fingerprint import (
+    canonical_report,
+    report_fingerprint,
+    window_fingerprint,
+    window_lineage,
+)
 from repro.workload.spec import ARRIVAL_PROCESSES, QueryArrival, WorkloadSpec
 
 __all__ = [
@@ -26,4 +31,6 @@ __all__ = [
     "canonical_report",
     "report_fingerprint",
     "serial_fingerprints",
+    "window_fingerprint",
+    "window_lineage",
 ]

@@ -26,7 +26,12 @@ import hashlib
 import json
 from typing import Any
 
-__all__ = ["canonical_report", "report_fingerprint"]
+__all__ = [
+    "canonical_report",
+    "report_fingerprint",
+    "window_lineage",
+    "window_fingerprint",
+]
 
 
 def _shift(t: float, base: float) -> float:
@@ -121,6 +126,51 @@ def report_fingerprint(report: Any, base_time: float = 0.0) -> str:
     """SHA-256 over the canonical JSON encoding of the report."""
     document = json.dumps(
         canonical_report(report, base_time=base_time),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=True,
+    )
+    return hashlib.sha256(document.encode()).hexdigest()
+
+
+def window_lineage(record: Any, base_time: float = 0.0) -> dict[str, Any]:
+    """The comparable view of one standing-query window.
+
+    Extends the report canonicalization with the window's *lineage* —
+    index, population snapshot hash, overlap with the previous window,
+    churn events, eligibility, and incremental-maintenance accounting —
+    so two runs of the same standing query agree not just on every
+    window's result but on the population history that produced it.
+    Duck-typed over :class:`repro.continuous.engine.WindowRecord` to
+    keep this module free of upward imports.
+    """
+    churn = record.churn
+    return {
+        "index": record.index,
+        "window_id": record.window_id,
+        "outcome": record.outcome,
+        "population_hash": record.population_hash,
+        "population_size": len(record.population),
+        "overlap_with_previous": round(record.overlap_with_previous, 9),
+        "eligible": sorted(record.eligible),
+        "churn": _canon(churn.as_dict()) if churn is not None else None,
+        "coverage": (
+            round(record.coverage, 9) if record.coverage is not None else None
+        ),
+        "incremental": _canon(record.incremental),
+        "lease_flags": sorted(record.lease_flags),
+        "report": (
+            canonical_report(record.report, base_time=base_time)
+            if record.report is not None
+            else None
+        ),
+    }
+
+
+def window_fingerprint(record: Any, base_time: float = 0.0) -> str:
+    """SHA-256 over the canonical JSON encoding of a window's lineage."""
+    document = json.dumps(
+        window_lineage(record, base_time=base_time),
         sort_keys=True,
         separators=(",", ":"),
         allow_nan=True,

@@ -1,0 +1,157 @@
+"""Tests for the seeded device-churn model.
+
+Determinism is the whole point: every draw comes from a private stream
+keyed by ``(seed, window, event-kind, device)``, so churn events are a
+pure function of the spec and the population — independent of draw
+order, of other windows, and of everything else the simulation does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.churn import ChurnModel, ChurnSpec
+
+
+CONTRIBUTORS = [f"c-{i:03d}" for i in range(20)]
+PROCESSORS = [f"p-{i:03d}" for i in range(30)]
+
+
+class TestChurnSpec:
+    def test_defaults_mean_no_churn(self):
+        spec = ChurnSpec()
+        assert not spec.any_churn
+
+    def test_any_churn_flags(self):
+        assert ChurnSpec(departure_probability=0.1).any_churn
+        assert ChurnSpec(data_change_probability=0.1).any_churn
+        assert ChurnSpec(contributor_arrival_rate=1.0).any_churn
+        assert ChurnSpec(mobility_mean_intercontact=5.0).any_churn
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSpec(departure_probability=1.5)
+        with pytest.raises(ValueError):
+            ChurnSpec(data_change_probability=-0.1)
+        with pytest.raises(ValueError):
+            ChurnSpec(contributor_arrival_rate=-1.0)
+        with pytest.raises(ValueError):
+            ChurnSpec(mobility_mean_intercontact=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_events(self):
+        spec = ChurnSpec(
+            departure_probability=0.15, data_change_probability=0.25, seed=9
+        )
+        a = ChurnModel(spec).step(3, CONTRIBUTORS, PROCESSORS)
+        b = ChurnModel(spec).step(3, CONTRIBUTORS, PROCESSORS)
+        assert a.as_dict() == b.as_dict()
+
+    def test_windows_are_independent_streams(self):
+        spec = ChurnSpec(departure_probability=0.15, seed=9)
+        model = ChurnModel(spec)
+        forward = [
+            model.step(w, CONTRIBUTORS, PROCESSORS).as_dict()
+            for w in range(1, 5)
+        ]
+        # replaying the windows in reverse order draws the same events:
+        # no draw consumes state from any other window's stream
+        fresh = ChurnModel(spec)
+        backward = {
+            w: fresh.step(w, CONTRIBUTORS, PROCESSORS).as_dict()
+            for w in reversed(range(1, 5))
+        }
+        for w, expected in zip(range(1, 5), forward):
+            assert backward[w] == expected
+
+    def test_per_device_streams_survive_membership_changes(self):
+        spec = ChurnSpec(departure_probability=0.3, seed=4)
+        model = ChurnModel(spec)
+        full = model.step(2, CONTRIBUTORS, PROCESSORS)
+        # removing unrelated devices does not change any survivor's draw
+        subset = [d for d in CONTRIBUTORS if d != CONTRIBUTORS[0]]
+        partial = ChurnModel(spec).step(2, subset, PROCESSORS)
+        expected = [
+            d for d in full.contributor_departures if d != CONTRIBUTORS[0]
+        ]
+        assert partial.contributor_departures == expected
+
+    def test_different_seeds_differ(self):
+        a = ChurnModel(ChurnSpec(departure_probability=0.3, seed=1))
+        b = ChurnModel(ChurnSpec(departure_probability=0.3, seed=2))
+        results_a = [
+            a.step(w, CONTRIBUTORS, PROCESSORS).as_dict() for w in range(1, 6)
+        ]
+        results_b = [
+            b.step(w, CONTRIBUTORS, PROCESSORS).as_dict() for w in range(1, 6)
+        ]
+        assert results_a != results_b
+
+
+class TestEvents:
+    def test_zero_rates_produce_zero_events(self):
+        model = ChurnModel(ChurnSpec(seed=7))
+        for window in range(1, 10):
+            churn = model.step(window, CONTRIBUTORS, PROCESSORS)
+            assert not churn.any_events
+
+    def test_departed_devices_do_not_refresh_data(self):
+        spec = ChurnSpec(
+            departure_probability=0.5, data_change_probability=0.9, seed=3
+        )
+        churn = ChurnModel(spec).step(1, CONTRIBUTORS, PROCESSORS)
+        assert churn.contributor_departures  # 50% of 20 — effectively sure
+        assert not set(churn.data_changes) & set(churn.contributor_departures)
+
+    def test_stationary_arrivals_match_departure_expectation(self):
+        # with no explicit arrival rate, arrivals ~ departure_rate * pool
+        spec = ChurnSpec(departure_probability=0.2, seed=5)
+        model = ChurnModel(spec)
+        total_arrivals = sum(
+            model.step(w, CONTRIBUTORS, PROCESSORS).contributor_arrivals
+            for w in range(1, 51)
+        )
+        expected = 0.2 * len(CONTRIBUTORS) * 50
+        assert 0.5 * expected <= total_arrivals <= 1.5 * expected
+
+    def test_explicit_arrival_rate(self):
+        spec = ChurnSpec(contributor_arrival_rate=3.0, seed=5)
+        churn = ChurnModel(spec).step(1, CONTRIBUTORS, PROCESSORS)
+        assert churn.contributor_arrivals == 3
+        assert churn.processor_arrivals == 0
+
+    def test_fractional_rate_bernoulli_rounds(self):
+        spec = ChurnSpec(contributor_arrival_rate=0.5, seed=5)
+        model = ChurnModel(spec)
+        counts = [
+            model.step(w, CONTRIBUTORS, PROCESSORS).contributor_arrivals
+            for w in range(1, 101)
+        ]
+        assert set(counts) <= {0, 1}
+        assert 25 <= sum(counts) <= 75
+
+
+class TestContactSchedule:
+    def test_none_without_mobility(self):
+        model = ChurnModel(ChurnSpec(departure_probability=0.1, seed=2))
+        assert model.contact_schedule(1, CONTRIBUTORS, 0.0, 10.0) is None
+
+    def test_schedule_is_deterministic(self):
+        spec = ChurnSpec(mobility_mean_intercontact=4.0, seed=2)
+        a = ChurnModel(spec).contact_schedule(2, CONTRIBUTORS[:5], 10.0, 30.0)
+        b = ChurnModel(spec).contact_schedule(2, CONTRIBUTORS[:5], 10.0, 30.0)
+        assert a is not None and b is not None
+        assert a.windows == b.windows
+
+    def test_windows_are_clipped_to_span(self):
+        spec = ChurnSpec(
+            mobility_mean_intercontact=2.0, mobility_mean_duration=3.0, seed=8
+        )
+        schedule = ChurnModel(spec).contact_schedule(
+            1, CONTRIBUTORS[:8], 100.0, 120.0
+        )
+        assert schedule is not None
+        for device_id, windows in schedule.windows.items():
+            for start, end in windows:
+                assert 100.0 <= start < end <= 120.0

@@ -1,0 +1,130 @@
+"""Property tests for dynamic lease-registry membership.
+
+The conservation property the issue names: across *any* interleaving of
+register / retire / lease / release, no lease is ever held by a
+departed device — a retirement either finds the device idle or reclaims
+the lease and flags the holding query on the audit trail.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.manager.admission import DeviceLeaseRegistry, LeaseError
+
+
+DEVICES = [f"d-{i}" for i in range(8)]
+QUERIES = [f"q-{i}" for i in range(4)]
+
+# one step of the interleaving: (op, device-index, query-index)
+_ops = st.tuples(
+    st.sampled_from(["register", "retire", "lease", "release"]),
+    st.integers(min_value=0, max_value=len(DEVICES) - 1),
+    st.integers(min_value=0, max_value=len(QUERIES) - 1),
+)
+
+
+def _apply(registry: DeviceLeaseRegistry, step) -> None:
+    op, device_index, query_index = step
+    device_id = DEVICES[device_index]
+    query_id = QUERIES[query_index]
+    if op == "register":
+        try:
+            registry.register_device(device_id)
+        except LeaseError:
+            # re-registering a retired id must be the only way to fail
+            assert device_id in registry.retired
+    elif op == "retire":
+        registry.retire_device(device_id)
+    elif op == "lease":
+        free = registry.free([device_id])
+        if free and registry.held_by(query_id) == []:
+            registry.lease(query_id, free)
+    elif op == "release":
+        registry.release(query_id)
+
+
+def _check_conservation(registry: DeviceLeaseRegistry) -> None:
+    for device_id in registry.retired:
+        assert registry.holder(device_id) is None
+    for query_id in QUERIES:
+        for device_id in registry.held_by(query_id):
+            assert device_id not in registry.retired
+            assert registry.holder(device_id) == query_id
+    for flagged_device, _ in registry.flagged:
+        assert flagged_device in registry.retired
+    assert not set(registry.free(DEVICES)) & set(registry.retired)
+
+
+class TestLeaseConservation:
+    @settings(max_examples=200, deadline=None)
+    @given(steps=st.lists(_ops, max_size=60))
+    def test_no_lease_ever_held_by_departed_device(self, steps):
+        registry = DeviceLeaseRegistry()
+        for device_id in DEVICES:
+            registry.register_device(device_id)
+        for step in steps:
+            _apply(registry, step)
+            _check_conservation(registry)
+
+    @settings(max_examples=100, deadline=None)
+    @given(steps=st.lists(_ops, max_size=40))
+    def test_leased_count_matches_held(self, steps):
+        registry = DeviceLeaseRegistry()
+        for device_id in DEVICES:
+            registry.register_device(device_id)
+        for step in steps:
+            _apply(registry, step)
+            held = sum(len(registry.held_by(q)) for q in QUERIES)
+            assert registry.leased_count == held
+
+
+class TestMembershipEdges:
+    def test_retired_ids_are_never_recycled(self):
+        registry = DeviceLeaseRegistry()
+        registry.register_device("d-0")
+        registry.retire_device("d-0")
+        with pytest.raises(LeaseError):
+            registry.register_device("d-0")
+
+    def test_leasing_a_non_member_raises(self):
+        registry = DeviceLeaseRegistry()
+        registry.register_device("d-0")
+        with pytest.raises(LeaseError):
+            registry.lease("q-0", ["d-unknown"])
+
+    def test_retiring_a_leased_device_flags_the_query(self):
+        registry = DeviceLeaseRegistry()
+        for device_id in ("d-0", "d-1"):
+            registry.register_device(device_id)
+        registry.lease("q-0", ["d-0", "d-1"])
+        flagged = registry.retire_device("d-0")
+        assert flagged == "q-0"
+        assert ("d-0", "q-0") in registry.flagged
+        assert registry.holder("d-0") is None
+        # the rest of the query's leases survive the reclaim
+        assert registry.held_by("q-0") == ["d-1"]
+        registry.release("q-0")
+        assert registry.leased_count == 0
+
+    def test_retiring_an_idle_device_flags_nothing(self):
+        registry = DeviceLeaseRegistry()
+        registry.register_device("d-0")
+        assert registry.retire_device("d-0") is None
+        assert registry.flagged == []
+
+    def test_free_excludes_retired_and_unregistered(self):
+        registry = DeviceLeaseRegistry()
+        registry.register_device("d-0")
+        registry.register_device("d-1")
+        registry.retire_device("d-1")
+        assert registry.free(["d-0", "d-1", "d-2"]) == ["d-0"]
+
+    def test_legacy_untracked_mode_still_blocks_retired(self):
+        registry = DeviceLeaseRegistry()
+        registry.retire_device("d-9")
+        assert registry.free(["d-9", "d-8"]) == ["d-8"]
+        with pytest.raises(LeaseError):
+            registry.lease("q-0", ["d-9"])

@@ -26,19 +26,30 @@ from pathlib import Path
 
 # package -> layers it must not reach into (even lazily)
 FORBIDDEN: dict[str, tuple[str, ...]] = {
-    "repro.core": ("repro.manager", "repro.chaos", "repro.workload"),
-    "repro.network": ("repro.manager", "repro.chaos", "repro.workload"),
-    "repro.query": ("repro.manager", "repro.chaos", "repro.workload"),
-    "repro.devices": ("repro.manager", "repro.chaos", "repro.workload"),
+    "repro.core": (
+        "repro.manager", "repro.chaos", "repro.workload", "repro.continuous",
+    ),
+    "repro.network": (
+        "repro.manager", "repro.chaos", "repro.workload", "repro.continuous",
+    ),
+    "repro.query": (
+        "repro.manager", "repro.chaos", "repro.workload", "repro.continuous",
+    ),
+    "repro.devices": (
+        "repro.manager", "repro.chaos", "repro.workload", "repro.continuous",
+    ),
     # the reliable transport is pure plumbing: it retries opaque
     # payloads and must never learn about query execution semantics
     "repro.network.reliable": ("repro.core",),
     # the manager orchestrates one query at a time; the workload
     # engine multiplexes *on top of* it and chaos probes both from
     # above, so neither may leak back down into the manager
-    "repro.manager": ("repro.workload", "repro.chaos"),
-    # chaos.workload imports the engine, never the reverse
-    "repro.workload": ("repro.chaos",),
+    "repro.manager": ("repro.workload", "repro.chaos", "repro.continuous"),
+    # chaos.workload/chaos.continuous import the engines, never the reverse
+    "repro.workload": ("repro.chaos", "repro.continuous"),
+    # continuous layers on workload (admission, fingerprints) but the
+    # verification muscle stays above it: chaos imports continuous only
+    "repro.continuous": ("repro.chaos",),
 }
 
 
@@ -99,8 +110,9 @@ def main() -> int:
             print(f"  {violation}")
         return 1
     print(
-        "layering ok: substrate never imports manager/chaos/workload, "
-        "manager never imports workload/chaos"
+        "layering ok: substrate never imports manager/chaos/workload/"
+        "continuous, manager never imports workload/chaos/continuous, "
+        "continuous never imports chaos"
     )
     return 0
 
