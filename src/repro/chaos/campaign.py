@@ -19,10 +19,10 @@ from typing import Any
 from repro.network.faults import FaultSpec
 from repro.chaos.invariants import RunRecord, Violation, check_all
 from repro.chaos.shrink import failure_plan_from_events, shrink_failure_plan
-from repro.core.planner import PrivacyParameters, QuerySpec, ResiliencyParameters
+from repro.core.planner import PrivacyParameters, ResiliencyParameters
 from repro.data.health import HEALTH_SCHEMA, generate_health_rows
 from repro.network.failures import FailurePlan
-from repro.query.sql import parse_query
+from repro.plan.compile import OPTIMIZER_COST, OPTIMIZER_PINNED, compile_query
 
 __all__ = [
     "TopologySpec",
@@ -109,6 +109,11 @@ class RunSpec:
     liability_max_share: float = 0.5
     reliability: bool = False
     phase_deadline: float | None = None
+    #: ``"pinned"`` replays the legacy hand-assembled physical
+    #: parameters byte-for-byte; ``"cost"`` lets the
+    #: :class:`~repro.plan.optimizer.PhysicalOptimizer` pick strategy,
+    #: partitioning, and replication over the run's substrate profile.
+    optimizer: str = OPTIMIZER_PINNED
 
     def to_dict(self) -> dict[str, Any]:
         data = {
@@ -137,6 +142,7 @@ class RunSpec:
             "liability_max_share": self.liability_max_share,
             "reliability": self.reliability,
             "phase_deadline": self.phase_deadline,
+            "optimizer": self.optimizer,
         }
         return data
 
@@ -173,6 +179,7 @@ class RunSpec:
                 if data.get("phase_deadline") is not None
                 else None
             ),
+            optimizer=str(data.get("optimizer", OPTIMIZER_PINNED)),
         )
 
 
@@ -247,15 +254,16 @@ def run_single(spec: RunSpec, telemetry: Any = None) -> RunOutcome:
         reliability=spec.reliability,
         phase_deadline=spec.phase_deadline,
     )
-    query_spec = QuerySpec(
-        query_id=f"{spec.tag}-q",
-        kind="aggregate",
-        snapshot_cardinality=spec.cardinality,
-        group_by=parse_query(spec.sql).query,
-    )
     scenario = Scenario(config, telemetry=telemetry)
-    result = scenario.run_query(
-        query_spec,
+    substrate = (
+        scenario.substrate_profile(fault_rate=spec.planner_fault_rate)
+        if spec.optimizer == OPTIMIZER_COST
+        else None
+    )
+    compiled = compile_query(
+        spec.sql,
+        query_id=f"{spec.tag}-q",
+        snapshot_cardinality=spec.cardinality,
         privacy=PrivacyParameters(max_raw_per_edgelet=spec.max_raw),
         resiliency=ResiliencyParameters(
             fault_rate=spec.planner_fault_rate,
@@ -263,13 +271,16 @@ def run_single(spec: RunSpec, telemetry: Any = None) -> RunOutcome:
             strategy=spec.strategy,
             backup_replicas=spec.backup_replicas,
         ),
+        optimizer=spec.optimizer,
+        substrate=substrate,
     )
-    reference = scenario.centralized_result(query_spec)
+    result = scenario.run_compiled(compiled)
+    reference = scenario.centralized_result(compiled.spec)
     clean = _is_clean(spec, result)
     record = RunRecord(
         result=result,
         reference=reference,
-        strategy=spec.strategy,
+        strategy=compiled.resiliency.strategy,
         clean=clean,
         validity_tolerance=spec.validity_tolerance,
         liability_max_share=spec.liability_max_share,
@@ -315,6 +326,7 @@ class CampaignConfig:
     liability_max_share: float = 0.5
     reliability: bool = False
     phase_deadline: float | None = None
+    optimizer: str = OPTIMIZER_PINNED
     shrink: bool = True
     shrink_budget: int = 24
 
@@ -354,6 +366,7 @@ class CampaignConfig:
             liability_max_share=self.liability_max_share,
             reliability=self.reliability,
             phase_deadline=self.phase_deadline,
+            optimizer=self.optimizer,
         )
 
 

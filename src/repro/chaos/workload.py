@@ -33,10 +33,9 @@ from repro.network.faults import FaultSpec
 from repro.chaos.invariants import RunRecord, Violation, check_all
 from repro.chaos.shrink import failure_plan_from_events, shrink_failure_plan
 from repro.core.liability import measure_liability
-from repro.core.planner import QuerySpec
 from repro.core.privacy import measure_exposure
 from repro.network.failures import FailurePlan
-from repro.query.sql import parse_query
+from repro.plan.compile import compile_query
 from repro.workload.engine import COMPLETED, WorkloadEngine, WorkloadResult
 from repro.workload.spec import WorkloadSpec
 
@@ -225,14 +224,12 @@ def run_workload(
         and not (fault_injector is not None and fault_injector.decisions)
         and all(not network_stats.get(key, 0) for key in loss_keys)
     )
-    reference = engine.scenario.centralized_result(
-        QuerySpec(
-            query_id="workload-oracle",
-            kind="aggregate",
-            snapshot_cardinality=spec.snapshot_cardinality,
-            group_by=parse_query(spec.sql).query,
-        )
+    oracle = compile_query(
+        spec.sql,
+        query_id="workload-oracle",
+        snapshot_cardinality=spec.snapshot_cardinality,
     )
+    reference = engine.scenario.centralized_result(oracle.spec)
     queries: list[QueryOutcome] = []
     for record in result.records:
         query_id = record.arrival.query_id

@@ -6,6 +6,9 @@ A text substitute for the demonstration GUI.  Subcommands:
 * ``run`` — execute an aggregate SQL query on a synthetic swarm and
   display the result, tally, and centralized verification (demo Part 2);
 * ``kmeans`` — execute the distributed K-Means query;
+* ``explain`` — compile a query with the cost-based optimizer over a
+  named substrate profile and print the candidate table (every
+  enumerated physical plan, its cost, and why it lost);
 * ``resiliency`` — print the overcollection table for a fault-rate
   sweep (the failure slider);
 * ``chaos`` — run a seeded chaos campaign (strategy x failure
@@ -34,6 +37,7 @@ Examples::
     python -m repro.cli run --contributors 200 --rows 400 \
         --sql "SELECT count(*), avg(age) FROM health GROUP BY region"
     python -m repro.cli kmeans --contributors 150 --heartbeats 6
+    python -m repro.cli explain --profile lossy-mobile --cardinality 600
     python -m repro.cli resiliency --n 10
     python -m repro.cli chaos --seed 7 --runs 25 --strategy both \
         --fault-mix "drop=0.05;partition:duplicate=0.2" --repro-out repro/
@@ -51,19 +55,21 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.planner import (
-    EdgeletPlanner,
-    PrivacyParameters,
-    QuerySpec,
-    ResiliencyParameters,
-)
+from repro.core.planner import PrivacyParameters, ResiliencyParameters
 from repro.core.resiliency import minimum_overcollection, query_success_probability
 from repro.data.health import HEALTH_SCHEMA, generate_health_rows
 from repro.manager.dashboard import render_plan, render_report
 from repro.manager.scenario import Scenario, ScenarioConfig
 from repro.manager.verification import verify_against_centralized
+from repro.plan.builder import scan
+from repro.plan.compile import (
+    OPTIMIZER_COST,
+    OPTIMIZER_PINNED,
+    CompiledQuery,
+    compile_query,
+)
+from repro.plan.substrate import SUBSTRATE_PROFILES, SubstrateProfile
 from repro.query.relation import Relation
-from repro.query.sql import parse_query
 from repro.telemetry import Telemetry, render_summary, write_jsonl
 
 __all__ = ["main", "build_parser"]
@@ -169,6 +175,36 @@ def build_parser() -> argparse.ArgumentParser:
     kmeans.add_argument("--telemetry", action="store_true",
                         help="print the telemetry summary table")
 
+    explain = sub.add_parser(
+        "explain",
+        help="show the optimizer's candidate table for a query",
+    )
+    explain.add_argument("--sql", default=DEFAULT_SQL, help="aggregate SQL query")
+    explain.add_argument("--cardinality", type=int, default=300,
+                         help="target snapshot cardinality C")
+    explain.add_argument("--max-raw", type=int, default=100,
+                         help="max raw tuples per edgelet (enumeration cap)")
+    explain.add_argument("--separate", type=_parse_pairs, default=(),
+                         help="attribute pairs to separate")
+    explain.add_argument("--fault-rate", type=float, default=0.1,
+                         help="presumed fault rate (pinned mode only; cost "
+                              "mode derives it from the substrate profile)")
+    explain.add_argument("--target-success", type=float, default=0.99)
+    explain.add_argument("--strategy", choices=("overcollection", "backup"),
+                         default="overcollection",
+                         help="baseline strategy (pinned mode honours it; "
+                              "cost mode treats it as one candidate)")
+    explain.add_argument("--profile", choices=tuple(sorted(SUBSTRATE_PROFILES)),
+                         default="residential",
+                         help="substrate profile to optimize over")
+    explain.add_argument("--contributors", type=int, default=None,
+                         help="override the profile's contributor count")
+    explain.add_argument("--processors", type=int, default=None,
+                         help="override the profile's processor count")
+    explain.add_argument("--pinned", action="store_true",
+                         help="score the caller-pinned plan instead of "
+                              "running the cost-based optimizer")
+
     resiliency = sub.add_parser(
         "resiliency", help="overcollection table for a fault-rate sweep"
     )
@@ -207,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--processors", type=int, default=20)
     chaos.add_argument("--rows", type=int, default=48)
     chaos.add_argument("--backup-replicas", type=int, default=1)
+    chaos.add_argument("--optimizer", choices=("pinned", "cost"),
+                       default="pinned",
+                       help="'pinned' replays the legacy hand-assembled "
+                            "physical parameters; 'cost' lets the "
+                            "cost-based optimizer choose per run")
     chaos.add_argument("--validity-tolerance", type=float, default=0.75,
                        help="max relative error tolerated on shared cells "
                             "for runs that experienced faults (calibrate to "
@@ -341,23 +382,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _compile_from_args(
+    args: argparse.Namespace,
+    query_id: str,
+    *,
+    kind: str = "aggregate",
+    optimizer: str = OPTIMIZER_PINNED,
+    substrate: SubstrateProfile | None = None,
+) -> CompiledQuery:
+    """The CLI's single compile path (plan/run/kmeans/explain).
+
+    Every subcommand's knobs map onto the same ``compile_query`` call;
+    knobs a subcommand does not expose fall back to the library
+    defaults.
+    """
+    privacy = PrivacyParameters(
+        max_raw_per_edgelet=args.max_raw,
+        separated_pairs=getattr(args, "separate", ()),
+    )
+    resiliency = ResiliencyParameters(
+        fault_rate=args.fault_rate,
+        target_success=getattr(args, "target_success", 0.99),
+        strategy=getattr(args, "strategy", "overcollection"),
+    )
+    if kind == "kmeans":
+        source = scan("health").cluster(
+            k=args.k,
+            features=("bmi", "systolic_bp", "glucose"),
+            heartbeats=args.heartbeats,
+        )
+    else:
+        source = args.sql
+    return compile_query(
+        source,
+        query_id=query_id,
+        snapshot_cardinality=args.cardinality,
+        privacy=privacy,
+        resiliency=resiliency,
+        optimizer=optimizer,
+        substrate=substrate,
+    )
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
-    parsed = parse_query(args.sql)
-    spec = QuerySpec(
-        query_id="cli-plan", kind="aggregate",
-        snapshot_cardinality=args.cardinality, group_by=parsed.query,
-    )
-    planner = EdgeletPlanner(
-        privacy=PrivacyParameters(
-            max_raw_per_edgelet=args.max_raw, separated_pairs=args.separate
-        ),
-        resiliency=ResiliencyParameters(
-            fault_rate=args.fault_rate,
-            target_success=args.target_success,
-            strategy=args.strategy,
-        ),
-    )
-    plan = planner.plan(spec, n_contributors=args.contributors)
+    compiled = _compile_from_args(args, "cli-plan")
+    plan = compiled.build_qep(n_contributors=args.contributors)
     print(render_plan(plan))
     return 0
 
@@ -395,30 +464,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     telemetry = Telemetry()
     scenario = Scenario(config, telemetry=telemetry)
-    parsed = parse_query(args.sql)
-    spec = QuerySpec(
-        query_id="cli-run", kind="aggregate",
-        snapshot_cardinality=args.cardinality, group_by=parsed.query,
-    )
-    result = scenario.run_query(
-        spec,
-        privacy=PrivacyParameters(max_raw_per_edgelet=args.max_raw),
-        resiliency=ResiliencyParameters(
-            fault_rate=args.fault_rate, strategy=args.strategy
-        ),
-    )
+    compiled = _compile_from_args(args, "cli-run")
+    result = scenario.run_compiled(compiled)
     if args.show_plan:
         print(render_plan(result.plan))
         print()
     print(render_report(result.report))
     _emit_telemetry(args, telemetry)
-    if result.report.success and (parsed.order_by or parsed.limit is not None):
+    if result.report.success and (compiled.order_by or compiled.limit is not None):
         print("  presented (ORDER BY / LIMIT applied):")
-        for row in parsed.present(result.report.result.all_rows()):
+        for row in compiled.present(result.report.result.all_rows()):
             print(f"    {row}")
     if result.report.success:
         outcome = verify_against_centralized(
-            result.report, spec.group_by, Relation(HEALTH_SCHEMA, rows)
+            result.report, compiled.spec.group_by, Relation(HEALTH_SCHEMA, rows)
         )
         print(
             f"  verification: exact={outcome.exact}, "
@@ -442,17 +501,8 @@ def _cmd_kmeans(args: argparse.Namespace) -> int:
     )
     telemetry = Telemetry()
     scenario = Scenario(config, telemetry=telemetry)
-    spec = QuerySpec(
-        query_id="cli-kmeans", kind="kmeans",
-        snapshot_cardinality=args.cardinality, kmeans_k=args.k,
-        feature_columns=("bmi", "systolic_bp", "glucose"),
-        heartbeats=args.heartbeats,
-    )
-    result = scenario.run_query(
-        spec,
-        privacy=PrivacyParameters(max_raw_per_edgelet=args.max_raw),
-        resiliency=ResiliencyParameters(fault_rate=args.fault_rate),
-    )
+    compiled = _compile_from_args(args, "cli-kmeans", kind="kmeans")
+    result = scenario.run_compiled(compiled)
     print(render_report(result.report))
     _emit_telemetry(args, telemetry)
     if result.report.success and result.report.kmeans is not None:
@@ -463,6 +513,27 @@ def _cmd_kmeans(args: argparse.Namespace) -> int:
             print(f"  centroid ({values})  weight {weight:.0f}")
         return 0
     return 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    substrate = SUBSTRATE_PROFILES[args.profile]
+    overrides = {}
+    if args.contributors is not None:
+        overrides["n_contributors"] = args.contributors
+    if args.processors is not None:
+        overrides["n_processors"] = args.processors
+    if overrides:
+        substrate = dataclasses.replace(substrate, **overrides)
+    compiled = _compile_from_args(
+        args,
+        "cli-explain",
+        optimizer=OPTIMIZER_PINNED if args.pinned else OPTIMIZER_COST,
+        substrate=substrate,
+    )
+    print(compiled.explain.render())
+    return 0
 
 
 def _cmd_resiliency(args: argparse.Namespace) -> int:
@@ -550,6 +621,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         validity_tolerance=args.validity_tolerance,
         reliability=args.reliability,
         phase_deadline=args.phase_deadline,
+        optimizer=args.optimizer,
         shrink=not args.no_shrink,
         shrink_budget=args.shrink_budget,
     )
@@ -884,6 +956,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "run": _cmd_run,
     "kmeans": _cmd_kmeans,
+    "explain": _cmd_explain,
     "resiliency": _cmd_resiliency,
     "chaos": _cmd_chaos,
     "workload": _cmd_workload,

@@ -37,14 +37,12 @@ from typing import Any
 from repro.continuous.spec import StandingQuerySpec
 from repro.core.planner import (
     PrivacyParameters,
-    QuerySpec,
     ResiliencyParameters,
 )
 from repro.core.qep import OperatorRole
 from repro.core.runtime import (
     ContributionCache,
     ExecutionCoordinator,
-    infer_strategy,
 )
 from repro.data.health import HEALTH_SCHEMA, generate_health_rows
 from repro.devices.churn import ChurnModel, ChurnSpec, WindowChurn
@@ -56,7 +54,9 @@ from repro.manager.admission import (
 from repro.manager.scenario import Scenario, ScenarioConfig
 from repro.network.failures import FailureInjector
 from repro.network.mux import QueryMux
-from repro.query.sql import parse_query
+from repro.plan.compile import CompiledQuery, compile_query
+from repro.plan.logical import LogicalPlan
+from repro.plan.rules import apply_rules
 from repro.workload.fingerprint import window_fingerprint
 
 __all__ = [
@@ -271,7 +271,8 @@ class ContinuousEngine:
         self.admission = AdmissionController(
             spec.max_concurrent_windows, queue_capacity=0, telemetry=telemetry
         )
-        self.group_by = parse_query(spec.sql).query
+        self.logical, _ = apply_rules(LogicalPlan.from_sql(spec.sql))
+        self.group_by = self.logical.to_group_by()
         self.churn_model = ChurnModel(churn) if churn is not None else None
         self.cache = ContributionCache() if spec.incremental else None
 
@@ -501,33 +502,31 @@ class ContinuousEngine:
             return
         self._launch(record)
 
-    def _launch(self, record: WindowRecord) -> None:
-        sim = self.scenario.simulator
-        window_id = record.window_id
-        spec_q = QuerySpec(
+    def compile_window(self, window_id: str) -> CompiledQuery:
+        """Compile one window through the shared plan pipeline."""
+        return compile_query(
+            self.logical,
             query_id=window_id,
-            kind="aggregate",
             snapshot_cardinality=self.spec.snapshot_cardinality,
-            group_by=self.group_by,
+            privacy=PrivacyParameters(
+                max_raw_per_edgelet=self.spec.max_raw_per_edgelet
+            ),
+            resiliency=ResiliencyParameters(
+                fault_rate=self.spec.fault_rate,
+                target_success=self.spec.target_success,
+                strategy=self.spec.strategy,
+            ),
             # one placement key for the whole standing query: with an
             # unchanged pool, every window re-derives the same builder
             # per contributor — the substrate of incremental maintenance
             placement_key=f"{self.spec.name}{self.spec.seed}",
         )
-        privacy = PrivacyParameters(
-            max_raw_per_edgelet=self.spec.max_raw_per_edgelet
-        )
-        resiliency = ResiliencyParameters(
-            fault_rate=self.spec.fault_rate,
-            target_success=self.spec.target_success,
-            strategy=self.spec.strategy,
-        )
-        plan = self.scenario.plan_query(
-            spec_q,
-            privacy=privacy,
-            resiliency=resiliency,
-            contributor_ids=record.eligible,
-        )
+
+    def _launch(self, record: WindowRecord) -> None:
+        sim = self.scenario.simulator
+        window_id = record.window_id
+        compiled = self.compile_window(window_id)
+        plan = compiled.build_qep(contributor_ids=record.eligible)
         n_processors = sum(
             1 for op in plan.operators() if op.role.is_data_processor
         )
@@ -577,7 +576,7 @@ class ContinuousEngine:
             )
         executor = ExecutionCoordinator(
             simulator=sim,
-            strategy=infer_strategy(plan),
+            strategy=compiled.strategy_runtime(),
             network=endpoint,
             devices=self.scenario.devices,
             plan=plan,

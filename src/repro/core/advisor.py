@@ -20,7 +20,12 @@ from dataclasses import dataclass
 from repro.core.backup import BackupConfig
 from repro.core.resiliency import minimum_overcollection
 
-__all__ = ["QueryProperties", "StrategyRecommendation", "recommend_strategy"]
+__all__ = [
+    "QueryProperties",
+    "StrategyRecommendation",
+    "properties_for",
+    "recommend_strategy",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,21 @@ class StrategyRecommendation:
     worst_extra_latency: float
 
 
+def properties_for(kind: str) -> QueryProperties:
+    """The :class:`QueryProperties` of a built-in query kind.
+
+    Both executable kinds are distributive (grouped aggregates merge
+    partial states; K-Means merges weighted centroid sets), and K-Means
+    is the iterative one — the facts the compile pipeline feeds the
+    advisor so its verdict and the runtime's capabilities agree.
+    """
+    if kind == "kmeans":
+        return QueryProperties(distributive=True, iterative=True)
+    if kind == "aggregate":
+        return QueryProperties(distributive=True)
+    raise ValueError(f"unknown query kind {kind!r}")
+
+
 def recommend_strategy(
     properties: QueryProperties,
     n: int,
@@ -79,9 +99,36 @@ def recommend_strategy(
     ``n`` is the horizontal partitioning degree and ``fault_rate`` the
     presumed per-partition fault probability; both are needed to
     quantify the cost of each branch.
+
+    Iterative processing is checked first: the Backup strategy cannot
+    cover heartbeat-cadenced operators (a promoted replica has no
+    gossip history to resume from), so for iterative queries
+    Overcollection with heartbeat execution is the only runnable
+    answer — matching what the execution runtime actually supports.
     """
     backup = backup_config or BackupConfig()
     reasons: list[str] = []
+
+    if properties.iterative:
+        m = minimum_overcollection(n, fault_rate, target_success)
+        reasons.append(
+            "iterative algorithm: a promoted passive replica has no gossip "
+            "history to resume from, so Backup does not apply"
+        )
+        reasons.append(
+            "heartbeat-cadenced execution with resampling tolerates "
+            "per-round message loss (Mini-batch-style)"
+        )
+        reasons.append(
+            f"overcollection degree m={m} reaches P(success) >= {target_success}"
+        )
+        return StrategyRecommendation(
+            strategy="overcollection",
+            heartbeat_execution=True,
+            reasons=tuple(reasons),
+            extra_devices=m,
+            worst_extra_latency=0.0,
+        )
 
     if not properties.distributive:
         reasons.append(
@@ -100,7 +147,7 @@ def recommend_strategy(
             worst_extra_latency=backup.worst_case_delay(),
         )
 
-    if properties.exact_result_required and not properties.iterative:
+    if properties.exact_result_required:
         reasons.append(
             "an exact result is required: Overcollection may lose up to m "
             "partitions and extrapolate, Backup re-executes the identical input"
@@ -119,17 +166,12 @@ def recommend_strategy(
         reasons.append(
             "deadline-sensitive: Overcollection adds no takeover latency"
         )
-    if properties.iterative:
-        reasons.append(
-            "iterative algorithm: heartbeat-cadenced execution with "
-            "resampling tolerates per-round message loss (Mini-batch-style)"
-        )
     reasons.append(
         f"overcollection degree m={m} reaches P(success) >= {target_success}"
     )
     return StrategyRecommendation(
         strategy="overcollection",
-        heartbeat_execution=properties.iterative,
+        heartbeat_execution=False,
         reasons=tuple(reasons),
         extra_devices=m,
         worst_extra_latency=0.0,

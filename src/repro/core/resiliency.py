@@ -61,9 +61,26 @@ def query_success_probability(n: int, m: int, fault_rate: float) -> float:
     total = n + m
     probability = 0.0
     for k in range(n, total + 1):
-        probability += (
-            math.comb(total, k) * survive**k * (1.0 - survive) ** (total - k)
-        )
+        try:
+            probability += (
+                math.comb(total, k) * survive**k * (1.0 - survive) ** (total - k)
+            )
+        except OverflowError:
+            # C(total, k) exceeds float range for the large totals the
+            # cost-based optimizer probes; the log-space term is exact
+            # enough there and 0 when survive hits an endpoint
+            if survive == 1.0:
+                probability += 1.0 if k == total else 0.0
+                continue
+            if survive == 0.0:
+                continue  # k >= n > 0 never matches the all-fail mass at k=0
+            probability += math.exp(
+                math.lgamma(total + 1)
+                - math.lgamma(k + 1)
+                - math.lgamma(total - k + 1)
+                + k * math.log(survive)
+                + (total - k) * math.log(1.0 - survive)
+            )
     return min(probability, 1.0)
 
 

@@ -46,6 +46,13 @@ def infer_strategy(
     Backup mechanics apply only to aggregate plans planned with
     ``strategy="backup"``; everything else (including K-Means, which
     keeps its heartbeat cadence) runs under Overcollection.
+
+    .. deprecated::
+        Thin shim kept for callers holding only a finished QEP.  The
+        canonical decision now lives on
+        :meth:`repro.plan.compile.CompiledQuery.strategy_runtime`;
+        compile through :func:`repro.plan.compile_query` instead of
+        inferring from plan metadata after the fact.
     """
     metadata = plan.metadata
     if metadata.get("strategy") == "backup" and metadata.get("kind") == "aggregate":

@@ -22,7 +22,7 @@ from repro.core.planner import (
 )
 from repro.core.privacy import ExposureReport, measure_exposure
 from repro.core.qep import OperatorRole, QueryExecutionPlan
-from repro.core.runtime import ExecutionCoordinator, ExecutionReport, infer_strategy
+from repro.core.runtime import ExecutionCoordinator, ExecutionReport
 from repro.devices.attestation import AttestationAuthority, AttestationError
 from repro.devices.edgelet import Edgelet
 from repro.devices.profiles import DeviceProfile, HOME_BOX, PC_SGX, SMARTPHONE
@@ -33,6 +33,8 @@ from repro.network.mobility import CaregiverRounds
 from repro.network.opnet import NetworkConfig, OpportunisticNetwork
 from repro.network.simulator import Simulator
 from repro.network.topology import ContactGraph
+from repro.plan.compile import CompiledQuery, compile_query
+from repro.plan.substrate import SubstrateProfile
 from repro.query.engine import CentralizedEngine
 from repro.query.relation import Relation
 from repro.query.schema import Schema
@@ -426,6 +428,29 @@ class Scenario:
         querier_op = plan.operators(OperatorRole.QUERIER)[0]
         querier_op.assigned_to = self.querier_device.device_id
 
+    def substrate_profile(
+        self, fault_rate: float = 0.05
+    ) -> SubstrateProfile:
+        """This scenario's swarm as a planner-visible substrate profile.
+
+        ``fault_rate`` is the baseline per-partition fault presumption
+        (the Part-1 slider); the profile folds the scenario's measured
+        churn and message-loss telemetry on top of it.
+        """
+        config = self.config
+        return SubstrateProfile(
+            name=f"scenario-{self.tag}",
+            n_contributors=max(len(self.contributors), 1),
+            n_processors=max(len(self.processors), 1),
+            device_mix=tuple(config.device_mix),
+            fault_rate=fault_rate,
+            message_loss=config.message_loss,
+            crash_probability=config.crash_probability,
+            disconnect_probability=config.disconnect_probability,
+            deadline=config.deadline,
+            reliability=config.reliability,
+        )
+
     def run_query(
         self,
         spec: QuerySpec,
@@ -433,8 +458,28 @@ class Scenario:
         resiliency: ResiliencyParameters | None = None,
         separated_pairs: list[tuple[str, str]] | None = None,
     ) -> ScenarioResult:
-        """Plan, assign, and execute one query on this scenario."""
-        plan = self.plan_query(spec, privacy=privacy, resiliency=resiliency)
+        """Plan, assign, and execute one query on this scenario.
+
+        Thin shim over the compile pipeline: the parameters are pinned
+        verbatim (legacy behaviour).  Callers wanting cost-based
+        physical selection compile themselves — see
+        :func:`repro.plan.compile_query` — and pass the result to
+        :meth:`run_compiled`.
+        """
+        compiled = compile_query(spec, privacy=privacy, resiliency=resiliency)
+        return self.run_compiled(compiled, separated_pairs=separated_pairs)
+
+    def run_compiled(
+        self,
+        compiled: CompiledQuery,
+        separated_pairs: list[tuple[str, str]] | None = None,
+        contributor_ids: list[str] | None = None,
+    ) -> ScenarioResult:
+        """Assign and execute one compiled query on this scenario."""
+        spec = compiled.spec
+        if contributor_ids is None:
+            contributor_ids = [d.device_id for d in self.contributors]
+        plan = compiled.build_qep(contributor_ids=contributor_ids)
         eligible_ids = self.eligible_processor_ids()
         self.assign_query(plan, eligible_ids)
 
@@ -468,7 +513,7 @@ class Scenario:
         )
         executor = ExecutionCoordinator(
             simulator=self.simulator,
-            strategy=infer_strategy(plan),
+            strategy=compiled.strategy_runtime(),
             network=self.network,
             devices=self.devices,
             plan=plan,

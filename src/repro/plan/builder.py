@@ -1,0 +1,232 @@
+"""Fluent builder front end for the logical plan IR.
+
+The programmatic alternative to the SQL parser::
+
+    from repro.plan import scan, col
+
+    plan = (
+        scan("health")
+        .where(col("age") > 65)
+        .group_by(("region",), ())
+        .aggregate(("count", None), ("avg", "age"))
+        .order_by("count_star", descending=True)
+        .limit(5)
+        .build()
+    )
+
+or, for the ML workload::
+
+    plan = scan("health").cluster(k=3, features=("bmi", "glucose")).build()
+
+``col("age") > 65`` builds the same serializable
+:class:`~repro.query.expressions.Expression` tree the SQL parser
+produces, so builder-made and parser-made plans compile identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.query.aggregates import AggregateSpec
+from repro.query.expressions import (
+    AndExpr,
+    ColumnRef,
+    CompareExpr,
+    Expression,
+    InExpr,
+    Literal,
+    NotExpr,
+    OrExpr,
+)
+from repro.query.groupby import GroupByQuery
+from repro.plan.logical import (
+    Aggregate,
+    Cluster,
+    Filter,
+    LogicalNode,
+    LogicalPlan,
+    LogicalPlanError,
+    Scan,
+)
+
+__all__ = ["ColumnExpr", "QueryBuilder", "col", "scan", "and_", "or_", "not_"]
+
+
+def _lift(value: Any) -> Expression:
+    if isinstance(value, ColumnExpr):
+        return value.ref
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+class ColumnExpr:
+    """A column reference with comparison operators."""
+
+    def __init__(self, name: str):
+        self.ref = ColumnRef(name)
+
+    def __eq__(self, other: Any) -> Expression:  # type: ignore[override]
+        return CompareExpr("=", self.ref, _lift(other))
+
+    def __ne__(self, other: Any) -> Expression:  # type: ignore[override]
+        return CompareExpr("!=", self.ref, _lift(other))
+
+    def __lt__(self, other: Any) -> Expression:
+        return CompareExpr("<", self.ref, _lift(other))
+
+    def __le__(self, other: Any) -> Expression:
+        return CompareExpr("<=", self.ref, _lift(other))
+
+    def __gt__(self, other: Any) -> Expression:
+        return CompareExpr(">", self.ref, _lift(other))
+
+    def __ge__(self, other: Any) -> Expression:
+        return CompareExpr(">=", self.ref, _lift(other))
+
+    def isin(self, *choices: Any) -> Expression:
+        return InExpr(self.ref, tuple(choices))
+
+    def __hash__(self) -> int:  # __eq__ overridden; keep hashable
+        return hash(self.ref)
+
+
+def col(name: str) -> ColumnExpr:
+    """Column reference for builder predicates."""
+    return ColumnExpr(name)
+
+
+def and_(*operands: Expression) -> Expression:
+    return AndExpr(tuple(_lift(o) for o in operands))
+
+
+def or_(*operands: Expression) -> Expression:
+    return OrExpr(tuple(_lift(o) for o in operands))
+
+
+def not_(operand: Expression) -> Expression:
+    return NotExpr(_lift(operand))
+
+
+def _aggregate_spec(spec: Any) -> AggregateSpec:
+    if isinstance(spec, AggregateSpec):
+        return spec
+    if isinstance(spec, tuple):
+        function, column, *rest = spec
+        alias = rest[0] if rest else None
+        return AggregateSpec(function=function, column=column, alias=alias)
+    raise LogicalPlanError(
+        f"aggregate spec must be an AggregateSpec or a "
+        f"(function, column[, alias]) tuple, got {spec!r}"
+    )
+
+
+class QueryBuilder:
+    """Accumulates clauses, then :meth:`build`\\ s a :class:`LogicalPlan`."""
+
+    def __init__(self, table: str):
+        self._table = table
+        self._predicates: list[Expression] = []
+        self._grouping_sets: tuple[tuple[str, ...], ...] | None = None
+        self._aggregates: list[AggregateSpec] = []
+        self._having: Expression | None = None
+        self._project: tuple[str, ...] | None = None
+        self._order_by: list[tuple[str, bool]] = []
+        self._limit: int | None = None
+        self._cluster: dict[str, Any] | None = None
+
+    # -- clauses -------------------------------------------------------------
+
+    def where(self, predicate: Expression | ColumnExpr) -> "QueryBuilder":
+        self._predicates.append(_lift(predicate))
+        return self
+
+    def select(self, *columns: str) -> "QueryBuilder":
+        """Explicit projection (columns the plan may touch)."""
+        self._project = tuple(columns)
+        return self
+
+    def group_by(self, *sets: str | Iterable[str]) -> "QueryBuilder":
+        """``group_by("region")`` for a single set, or grouping sets as
+        tuples: ``group_by(("region",), ("region", "sex"), ())``."""
+        if sets and all(isinstance(s, str) for s in sets):
+            self._grouping_sets = (tuple(sets),)  # type: ignore[arg-type]
+        else:
+            self._grouping_sets = tuple(tuple(s) for s in sets)
+        return self
+
+    def aggregate(self, *specs: Any) -> "QueryBuilder":
+        self._aggregates.extend(_aggregate_spec(s) for s in specs)
+        return self
+
+    def having(self, predicate: Expression | ColumnExpr) -> "QueryBuilder":
+        self._having = _lift(predicate)
+        return self
+
+    def order_by(self, name: str, descending: bool = False) -> "QueryBuilder":
+        self._order_by.append((name, descending))
+        return self
+
+    def limit(self, n: int) -> "QueryBuilder":
+        self._limit = n
+        return self
+
+    def cluster(
+        self,
+        k: int,
+        features: Iterable[str],
+        heartbeats: int = 5,
+    ) -> "QueryBuilder":
+        """Switch the plan to the distributed K-Means workload."""
+        self._cluster = {
+            "k": k,
+            "features": tuple(features),
+            "heartbeats": heartbeats,
+        }
+        return self
+
+    # -- assembly ------------------------------------------------------------
+
+    def build(self) -> LogicalPlan:
+        node: LogicalNode = Scan(table=self._table, columns=self._project)
+        for predicate in self._predicates:
+            node = Filter(child=node, predicate=predicate)
+        if self._cluster is not None:
+            post = None
+            if self._aggregates:
+                post = GroupByQuery(
+                    grouping_sets=self._grouping_sets or ((),),
+                    aggregates=tuple(self._aggregates),
+                    having=self._having,
+                )
+            node = Cluster(
+                child=node,
+                k=self._cluster["k"],
+                feature_columns=self._cluster["features"],
+                heartbeats=self._cluster["heartbeats"],
+                post_group_by=post,
+            )
+        else:
+            if not self._aggregates:
+                raise LogicalPlanError(
+                    "aggregate(...) or cluster(...) is required — the "
+                    "Edgelet protocol never ships raw rows to the querier"
+                )
+            node = Aggregate(
+                child=node,
+                grouping_sets=self._grouping_sets or ((),),
+                aggregates=tuple(self._aggregates),
+                having=self._having,
+            )
+        plan = LogicalPlan(
+            root=node,
+            order_by=tuple(self._order_by),
+            limit=self._limit,
+        )
+        plan.validate()
+        return plan
+
+
+def scan(table: str) -> QueryBuilder:
+    """Start a fluent query over ``table``."""
+    return QueryBuilder(table)

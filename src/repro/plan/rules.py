@@ -1,0 +1,117 @@
+"""Logical rewrite rules.
+
+Each rule maps ``LogicalPlan -> (LogicalPlan, RuleTrace | None)`` and
+must be a *pure* rewrite: the plan's result set is unchanged, only
+where work happens moves.  The two shipped rules realise the paper's
+privacy posture — move filtering and column selection onto the
+contributor device so nothing superfluous ever leaves its TEE:
+
+* :func:`push_down_filters` — fold every :class:`Filter` node into the
+  :class:`Scan`'s contributor-side predicate;
+* :func:`prune_columns` — pin ``Scan.columns`` to exactly the columns
+  the rest of the plan references.
+
+:func:`apply_rules` runs a rule list in order and records a
+:class:`RuleTrace` per rule that fired, which the
+:class:`~repro.plan.explain.ExplainReport` surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.query.expressions import AndExpr
+from repro.plan.logical import (
+    Filter,
+    LogicalNode,
+    LogicalPlan,
+    Scan,
+    required_columns,
+)
+
+__all__ = ["RuleTrace", "Rule", "push_down_filters", "prune_columns", "DEFAULT_RULES", "apply_rules"]
+
+
+@dataclass(frozen=True)
+class RuleTrace:
+    """One fired rule, for the explain report."""
+
+    rule: str
+    detail: str
+
+
+Rule = Callable[[LogicalPlan], "tuple[LogicalPlan, RuleTrace | None]"]
+
+
+def _rebuild(nodes: list[LogicalNode]) -> LogicalNode:
+    """Re-link a root-to-leaf node list bottom-up."""
+    node = nodes[-1]
+    for parent in reversed(nodes[:-1]):
+        node = replace(parent, child=node)
+    return node
+
+
+def push_down_filters(plan: LogicalPlan) -> tuple[LogicalPlan, RuleTrace | None]:
+    """Fold every Filter node into the Scan's contributor-side predicate.
+
+    A single predicate lands on the scan unwrapped (byte-identical round
+    trip through :meth:`LogicalPlan.to_group_by`); multiple predicates
+    are conjoined.
+    """
+    nodes = plan.nodes()
+    filters = [n for n in nodes if isinstance(n, Filter)]
+    if not filters:
+        return plan, None
+    scan = plan.scan
+    predicates = [f.predicate for f in filters]
+    if scan.predicate is not None:
+        predicates.append(scan.predicate)
+    merged = predicates[0] if len(predicates) == 1 else AndExpr(tuple(predicates))
+    kept = [n for n in nodes if not isinstance(n, (Filter, Scan))]
+    kept.append(replace(scan, predicate=merged))
+    rewritten = plan.with_root(_rebuild(kept))
+    trace = RuleTrace(
+        rule="push_down_filters",
+        detail=(
+            f"pushed {len(filters)} predicate(s) onto contributor "
+            f"collection ({', '.join(sorted(merged.columns()))})"
+        ),
+    )
+    return rewritten, trace
+
+
+def prune_columns(plan: LogicalPlan) -> tuple[LogicalPlan, RuleTrace | None]:
+    """Pin ``Scan.columns`` to exactly the referenced columns."""
+    needed: set[str] = set()
+    for node in plan.nodes():
+        needed.update(required_columns(node))
+    scan = plan.scan
+    columns = tuple(sorted(needed))
+    if scan.columns == columns:
+        return plan, None
+    nodes = [n for n in plan.nodes() if not isinstance(n, Scan)]
+    nodes.append(replace(scan, columns=columns))
+    rewritten = plan.with_root(_rebuild(nodes))
+    trace = RuleTrace(
+        rule="prune_columns",
+        detail=f"scan restricted to {len(columns)} column(s): {', '.join(columns)}",
+    )
+    return rewritten, trace
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (push_down_filters, prune_columns)
+
+
+def apply_rules(
+    plan: LogicalPlan, rules: tuple[Rule, ...] = DEFAULT_RULES
+) -> tuple[LogicalPlan, tuple[RuleTrace, ...]]:
+    """Run the rule passes in order; returns the rewritten plan and the
+    traces of every rule that fired."""
+    traces: list[RuleTrace] = []
+    for rule in rules:
+        plan, trace = rule(plan)
+        if trace is not None:
+            traces.append(trace)
+    plan.validate()
+    return replace(plan, rule_trace=tuple(traces)), tuple(traces)

@@ -36,10 +36,9 @@ from typing import Any
 
 from repro.core.planner import (
     PrivacyParameters,
-    QuerySpec,
     ResiliencyParameters,
 )
-from repro.core.runtime import ExecutionCoordinator, infer_strategy
+from repro.core.runtime import ExecutionCoordinator
 from repro.data.health import HEALTH_SCHEMA, generate_health_rows
 from repro.manager.admission import (
     ADMITTED,
@@ -50,7 +49,9 @@ from repro.manager.admission import (
 from repro.manager.scenario import Scenario, ScenarioConfig
 from repro.network.failures import FailureInjector
 from repro.network.mux import QueryMux
-from repro.query.sql import parse_query
+from repro.plan.compile import CompiledQuery, compile_query
+from repro.plan.logical import LogicalPlan
+from repro.plan.rules import apply_rules
 from repro.workload.fingerprint import report_fingerprint
 from repro.workload.spec import QueryArrival, WorkloadSpec
 
@@ -231,7 +232,8 @@ class WorkloadEngine:
         self.admission = AdmissionController(
             spec.max_concurrent, spec.queue_capacity, telemetry=telemetry
         )
-        self.group_by = parse_query(spec.sql).query
+        self.logical, _ = apply_rules(LogicalPlan.from_sql(spec.sql))
+        self.group_by = self.logical.to_group_by()
         self.processor_pool = self.scenario.eligible_processor_ids()
         self.injector: FailureInjector | None = None
         self.scripted_events: list[Any] = []
@@ -310,26 +312,32 @@ class WorkloadEngine:
         else:
             record.outcome = SHED
 
+    def compile(self, query_id: str, strategy: str) -> CompiledQuery:
+        """Compile one arrival through the shared plan pipeline (the
+        workload's logical plan is parsed and rewritten once)."""
+        return compile_query(
+            self.logical,
+            query_id=query_id,
+            snapshot_cardinality=self.spec.snapshot_cardinality,
+            privacy=PrivacyParameters(
+                max_raw_per_edgelet=self.spec.max_raw_per_edgelet
+            ),
+            resiliency=ResiliencyParameters(
+                fault_rate=self.spec.fault_rate,
+                target_success=self.spec.target_success,
+                strategy=strategy,
+            ),
+        )
+
     def _launch(self, record: QueryRecord) -> None:
         sim = self.scenario.simulator
         arrival = record.arrival
         query_id = arrival.query_id
-        spec_q = QuerySpec(
-            query_id=query_id,
-            kind="aggregate",
-            snapshot_cardinality=self.spec.snapshot_cardinality,
-            group_by=self.group_by,
-        )
-        privacy = PrivacyParameters(
-            max_raw_per_edgelet=self.spec.max_raw_per_edgelet
-        )
-        resiliency = ResiliencyParameters(
-            fault_rate=self.spec.fault_rate,
-            target_success=self.spec.target_success,
-            strategy=arrival.strategy,
-        )
-        plan = self.scenario.plan_query(
-            spec_q, privacy=privacy, resiliency=resiliency
+        compiled = self.compile(query_id, arrival.strategy)
+        plan = compiled.build_qep(
+            contributor_ids=[
+                d.device_id for d in self.scenario.contributors
+            ]
         )
         n_processors = sum(
             1 for op in plan.operators() if op.role.is_data_processor
@@ -365,7 +373,7 @@ class WorkloadEngine:
             )
         executor = ExecutionCoordinator(
             simulator=sim,
-            strategy=infer_strategy(plan),
+            strategy=compiled.strategy_runtime(),
             network=endpoint,
             devices=self.scenario.devices,
             plan=plan,
@@ -494,8 +502,6 @@ def serial_fingerprints(
     scenario.network.per_query_rng = True
     sim = scenario.simulator
     fingerprints: dict[str, str] = {}
-    privacy = PrivacyParameters(max_raw_per_edgelet=spec.max_raw_per_edgelet)
-    group_by = parse_query(spec.sql).query
     for record in result.records:
         if record.outcome != COMPLETED:
             continue
@@ -503,18 +509,10 @@ def serial_fingerprints(
         scenario.network.reset()
         mux = QueryMux(scenario.network)
         arrival = record.arrival
-        spec_q = QuerySpec(
-            query_id=arrival.query_id,
-            kind="aggregate",
-            snapshot_cardinality=spec.snapshot_cardinality,
-            group_by=group_by,
+        compiled = engine.compile(arrival.query_id, arrival.strategy)
+        plan = compiled.build_qep(
+            contributor_ids=[d.device_id for d in scenario.contributors]
         )
-        resiliency = ResiliencyParameters(
-            fault_rate=spec.fault_rate,
-            target_success=spec.target_success,
-            strategy=arrival.strategy,
-        )
-        plan = scenario.plan_query(spec_q, privacy=privacy, resiliency=resiliency)
         scenario.assign_query(plan, record.leased)
         endpoint = mux.endpoint(arrival.query_id)
         transport = None
@@ -531,7 +529,7 @@ def serial_fingerprints(
             )
         executor = ExecutionCoordinator(
             simulator=sim,
-            strategy=infer_strategy(plan),
+            strategy=compiled.strategy_runtime(),
             network=endpoint,
             devices=scenario.devices,
             plan=plan,

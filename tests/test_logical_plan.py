@@ -1,0 +1,201 @@
+"""Logical plan IR: construction, schema validation, and lowering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan.logical import (
+    Aggregate,
+    Cluster,
+    Filter,
+    LogicalPlan,
+    LogicalPlanError,
+    Project,
+    Scan,
+    output_columns,
+    required_columns,
+)
+from repro.plan.rules import apply_rules
+from repro.query.aggregates import AggregateSpec
+from repro.query.expressions import AndExpr, ColumnRef, CompareExpr, Literal
+from repro.query.sql import parse_query
+
+SQL = (
+    "SELECT count(*), avg(age), avg(bmi) FROM health WHERE age > 65 "
+    "GROUP BY GROUPING SETS ((region), ())"
+)
+
+
+def _predicate(column: str = "age", value: int = 65) -> CompareExpr:
+    return CompareExpr(">", ColumnRef(column), Literal(value))
+
+
+class TestConstruction:
+    def test_from_sql_builds_aggregate_over_filter_over_scan(self):
+        plan = LogicalPlan.from_sql(SQL)
+        nodes = plan.nodes()
+        assert isinstance(nodes[0], Aggregate)
+        assert isinstance(nodes[1], Filter)
+        assert isinstance(nodes[2], Scan)
+        assert plan.kind == "aggregate"
+        assert plan.table == "health"
+
+    def test_from_parsed_captures_order_by_and_limit(self):
+        sql = (
+            "SELECT count(*) AS n FROM t GROUP BY region "
+            "ORDER BY n DESC LIMIT 2"
+        )
+        parsed = parse_query(sql)
+        plan = LogicalPlan.from_parsed(parsed)
+        assert plan.order_by == parsed.order_by
+        assert plan.limit == 2
+
+    def test_no_where_means_no_filter_node(self):
+        plan = LogicalPlan.from_sql(
+            "SELECT count(*) FROM health GROUP BY region"
+        )
+        assert not any(isinstance(n, Filter) for n in plan.nodes())
+
+
+class TestSchemaPropagation:
+    def test_output_columns_of_aggregate(self):
+        plan = LogicalPlan.from_sql(SQL)
+        produced = output_columns(plan.root)
+        assert "region" in produced
+        assert "count_star" in produced
+        assert "avg_age" in produced
+
+    def test_required_columns_of_aggregate_include_grouping_and_inputs(self):
+        plan = LogicalPlan.from_sql(SQL)
+        needed = required_columns(plan.root)
+        assert set(needed) == {"age", "bmi", "region"}
+
+    def test_validate_rejects_aggregate_below_root(self):
+        inner = Aggregate(
+            child=Scan(table="health"),
+            grouping_sets=((),),
+            aggregates=(AggregateSpec(function="count", column=None),),
+        )
+        plan = LogicalPlan(root=Filter(child=inner, predicate=_predicate()))
+        with pytest.raises(LogicalPlanError):
+            plan.validate()
+
+    def test_validate_rejects_two_aggregating_nodes(self):
+        inner = Aggregate(
+            child=Scan(table="health"),
+            grouping_sets=((),),
+            aggregates=(AggregateSpec(function="count", column=None),),
+        )
+        outer = Aggregate(
+            child=inner,
+            grouping_sets=((),),
+            aggregates=(AggregateSpec(function="count", column=None),),
+        )
+        with pytest.raises(LogicalPlanError):
+            LogicalPlan(root=outer).validate()
+
+    def test_validate_rejects_unsatisfiable_column_reference(self):
+        scan = Scan(table="health", columns=("age",))
+        plan = LogicalPlan(
+            root=Aggregate(
+                child=scan,
+                grouping_sets=(("region",),),
+                aggregates=(AggregateSpec(function="avg", column="bmi"),),
+            )
+        )
+        with pytest.raises(LogicalPlanError, match="cannot supply"):
+            plan.validate()
+
+    def test_unpruned_scan_supplies_everything(self):
+        plan = LogicalPlan.from_sql(SQL)
+        plan.validate()  # Scan.columns is None pre-pruning
+
+    def test_project_narrows_downstream_columns(self):
+        node = Project(child=Scan(table="health"), columns=("age", "region"))
+        assert output_columns(node) == ("age", "region")
+        assert required_columns(node) == ("age", "region")
+
+
+class TestLowering:
+    def test_to_group_by_round_trips_byte_identically(self):
+        for sql in (
+            SQL,
+            "SELECT count(*) FROM health GROUP BY region",
+            "SELECT sum(bmi), min(age), max(age) FROM health "
+            "WHERE region = 'paca' GROUP BY GROUPING SETS ((sex), ())",
+            "SELECT count(*) AS n FROM health GROUP BY region "
+            "HAVING n > 3",
+        ):
+            rewritten, _ = apply_rules(LogicalPlan.from_sql(sql))
+            assert (
+                rewritten.to_group_by().to_dict()
+                == parse_query(sql).query.to_dict()
+            )
+
+    def test_collection_predicate_single_predicate_stays_unwrapped(self):
+        rewritten, _ = apply_rules(LogicalPlan.from_sql(SQL))
+        predicate = rewritten.collection_predicate()
+        assert not isinstance(predicate, AndExpr)
+        assert predicate.to_dict() == parse_query(SQL).query.where.to_dict()
+
+    def test_collection_predicate_conjoins_multiple_filters(self):
+        scan = Scan(table="health")
+        stacked = Filter(
+            child=Filter(child=scan, predicate=_predicate("age", 65)),
+            predicate=_predicate("bmi", 20),
+        )
+        plan = LogicalPlan(
+            root=Aggregate(
+                child=stacked,
+                grouping_sets=((),),
+                aggregates=(AggregateSpec(function="count", column=None),),
+            )
+        )
+        predicate = plan.collection_predicate()
+        assert isinstance(predicate, AndExpr)
+        assert {"age", "bmi"} <= predicate.columns()
+
+    def test_collected_columns_before_and_after_pruning(self):
+        plan = LogicalPlan.from_sql(SQL)
+        assert plan.collected_columns() == ("age", "bmi", "region")
+        rewritten, _ = apply_rules(plan)
+        assert rewritten.scan.columns == ("age", "bmi", "region")
+        assert rewritten.collected_columns() == ("age", "bmi", "region")
+
+    def test_to_group_by_without_aggregate_raises(self):
+        plan = LogicalPlan(
+            root=Cluster(
+                child=Scan(table="health"),
+                k=3,
+                feature_columns=("bmi", "glucose"),
+            )
+        )
+        with pytest.raises(LogicalPlanError):
+            plan.to_group_by()
+
+    def test_cluster_plan_kind_and_node(self):
+        plan = LogicalPlan(
+            root=Cluster(
+                child=Scan(table="health"),
+                k=3,
+                feature_columns=("bmi", "glucose"),
+            )
+        )
+        assert plan.kind == "kmeans"
+        assert plan.cluster_node().k == 3
+
+
+class TestDescribe:
+    def test_describe_renders_one_line_per_node(self):
+        plan = LogicalPlan.from_sql(SQL)
+        text = plan.describe()
+        assert "Aggregate[(region), ()]" in text
+        assert "Filter(" in text
+        assert "Scan[health](*)" in text
+
+    def test_describe_after_rules_shows_pushdown(self):
+        rewritten, _ = apply_rules(LogicalPlan.from_sql(SQL))
+        text = rewritten.describe()
+        assert "Filter(" not in text
+        assert "predicate=" in text
+        assert "age, bmi, region" in text

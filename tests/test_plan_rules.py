@@ -1,0 +1,181 @@
+"""Rewrite rules and the fluent builder front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan.builder import and_, col, not_, or_, scan
+from repro.plan.logical import (
+    Aggregate,
+    Filter,
+    LogicalPlan,
+    LogicalPlanError,
+    Scan,
+)
+from repro.plan.rules import apply_rules, prune_columns, push_down_filters
+from repro.query.expressions import AndExpr, InExpr, NotExpr, OrExpr
+from repro.query.sql import parse_query
+
+SQL = (
+    "SELECT count(*), avg(age), avg(bmi) FROM health WHERE age > 65 "
+    "GROUP BY GROUPING SETS ((region), ())"
+)
+
+
+class TestPushDownFilters:
+    def test_filter_node_folds_into_scan_predicate(self):
+        plan = LogicalPlan.from_sql(SQL)
+        rewritten, trace = push_down_filters(plan)
+        assert trace is not None
+        assert trace.rule == "push_down_filters"
+        assert not any(isinstance(n, Filter) for n in rewritten.nodes())
+        assert rewritten.scan.predicate is not None
+
+    def test_single_predicate_lands_unwrapped(self):
+        rewritten, _ = push_down_filters(LogicalPlan.from_sql(SQL))
+        assert not isinstance(rewritten.scan.predicate, AndExpr)
+
+    def test_no_filters_is_a_noop(self):
+        plan = LogicalPlan.from_sql(
+            "SELECT count(*) FROM health GROUP BY region"
+        )
+        rewritten, trace = push_down_filters(plan)
+        assert trace is None
+        assert rewritten is plan
+
+    def test_stacked_filters_conjoin(self):
+        plan = (
+            scan("health")
+            .where(col("age") > 65)
+            .where(col("bmi") < 30)
+            .aggregate(("count", None))
+            .build()
+        )
+        rewritten, _ = push_down_filters(plan)
+        assert isinstance(rewritten.scan.predicate, AndExpr)
+        assert {"age", "bmi"} <= rewritten.scan.predicate.columns()
+
+
+class TestPruneColumns:
+    def test_scan_columns_pinned_to_referenced_set(self):
+        rewritten, trace = prune_columns(LogicalPlan.from_sql(SQL))
+        assert trace is not None
+        assert rewritten.scan.columns == ("age", "bmi", "region")
+
+    def test_already_pruned_is_a_noop(self):
+        once, _ = prune_columns(LogicalPlan.from_sql(SQL))
+        twice, trace = prune_columns(once)
+        assert trace is None
+        assert twice is once
+
+
+class TestApplyRules:
+    def test_default_pipeline_fires_both_rules(self):
+        _, traces = apply_rules(LogicalPlan.from_sql(SQL))
+        assert [t.rule for t in traces] == [
+            "push_down_filters", "prune_columns",
+        ]
+
+    def test_idempotent_on_reapplication(self):
+        once, _ = apply_rules(LogicalPlan.from_sql(SQL))
+        twice, traces = apply_rules(once)
+        assert traces == ()
+        assert twice.root == once.root
+
+    def test_result_set_preserved(self):
+        rewritten, _ = apply_rules(LogicalPlan.from_sql(SQL))
+        assert (
+            rewritten.to_group_by().to_dict()
+            == parse_query(SQL).query.to_dict()
+        )
+
+
+class TestBuilder:
+    def test_builder_matches_parser_byte_for_byte(self):
+        built = (
+            scan("health")
+            .where(col("age") > 65)
+            .group_by(("region",), ())
+            .aggregate(("count", None), ("avg", "age"), ("avg", "bmi"))
+            .build()
+        )
+        from_sql = LogicalPlan.from_sql(
+            "SELECT count(*), avg(age), avg(bmi) FROM health "
+            "WHERE age > 65 GROUP BY GROUPING SETS ((region), ())"
+        )
+        built_r, _ = apply_rules(built)
+        sql_r, _ = apply_rules(from_sql)
+        assert built_r.to_group_by().to_dict() == sql_r.to_group_by().to_dict()
+
+    def test_single_group_by_strings_form_one_set(self):
+        plan = (
+            scan("health")
+            .group_by("region", "sex")
+            .aggregate(("count", None))
+            .build()
+        )
+        root = plan.root
+        assert isinstance(root, Aggregate)
+        assert root.grouping_sets == (("region", "sex"),)
+
+    def test_comparison_operators_and_combinators(self):
+        predicate = and_(
+            col("age") >= 18,
+            or_(col("region") == "paca", col("region") != "idf"),
+            not_(col("bmi") <= 15),
+            col("sex").isin("f", "m"),
+        )
+        assert isinstance(predicate, AndExpr)
+        kinds = {type(op) for op in predicate.operands}
+        assert OrExpr in kinds
+        assert NotExpr in kinds
+        assert InExpr in kinds
+
+    def test_cluster_builder_produces_kmeans_plan(self):
+        plan = (
+            scan("health")
+            .cluster(k=3, features=("bmi", "glucose"), heartbeats=4)
+            .build()
+        )
+        assert plan.kind == "kmeans"
+        node = plan.cluster_node()
+        assert node.k == 3
+        assert node.heartbeats == 4
+        assert node.post_group_by is None
+
+    def test_cluster_with_post_aggregation(self):
+        plan = (
+            scan("health")
+            .cluster(k=2, features=("bmi",))
+            .group_by("cluster")
+            .aggregate(("count", None))
+            .build()
+        )
+        post = plan.cluster_node().post_group_by
+        assert post is not None
+        assert post.grouping_sets == (("cluster",),)
+
+    def test_order_by_and_limit_flow_through(self):
+        plan = (
+            scan("health")
+            .aggregate(("count", None))
+            .order_by("count_star", descending=True)
+            .limit(5)
+            .build()
+        )
+        assert plan.order_by == (("count_star", True),)
+        assert plan.limit == 5
+
+    def test_raw_row_query_is_rejected(self):
+        with pytest.raises(LogicalPlanError, match="never ships raw rows"):
+            scan("health").where(col("age") > 65).build()
+
+    def test_select_restricting_needed_column_is_rejected(self):
+        with pytest.raises(LogicalPlanError):
+            (
+                scan("health")
+                .select("age")
+                .group_by("region")
+                .aggregate(("count", None))
+                .build()
+            )

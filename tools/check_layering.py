@@ -27,15 +27,25 @@ from pathlib import Path
 # package -> layers it must not reach into (even lazily)
 FORBIDDEN: dict[str, tuple[str, ...]] = {
     "repro.core": (
-        "repro.manager", "repro.chaos", "repro.workload", "repro.continuous",
+        "repro.plan", "repro.manager", "repro.chaos", "repro.workload",
+        "repro.continuous",
     ),
     "repro.network": (
-        "repro.manager", "repro.chaos", "repro.workload", "repro.continuous",
+        "repro.plan", "repro.manager", "repro.chaos", "repro.workload",
+        "repro.continuous",
     ),
     "repro.query": (
-        "repro.manager", "repro.chaos", "repro.workload", "repro.continuous",
+        "repro.plan", "repro.manager", "repro.chaos", "repro.workload",
+        "repro.continuous",
     ),
     "repro.devices": (
+        "repro.plan", "repro.manager", "repro.chaos", "repro.workload",
+        "repro.continuous",
+    ),
+    # the compile pipeline sits between the substrate and the
+    # orchestration layers: it imports core/query freely but must never
+    # reach up into the engines that call it
+    "repro.plan": (
         "repro.manager", "repro.chaos", "repro.workload", "repro.continuous",
     ),
     # the reliable transport is pure plumbing: it retries opaque
@@ -110,9 +120,10 @@ def main() -> int:
             print(f"  {violation}")
         return 1
     print(
-        "layering ok: substrate never imports manager/chaos/workload/"
-        "continuous, manager never imports workload/chaos/continuous, "
-        "continuous never imports chaos"
+        "layering ok: substrate never imports plan/manager/chaos/workload/"
+        "continuous, plan never imports the engines above it, manager "
+        "never imports workload/chaos/continuous, continuous never "
+        "imports chaos"
     )
     return 0
 
