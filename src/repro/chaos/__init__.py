@@ -34,7 +34,18 @@ from repro.network.faults import (
     FaultSpec,
     MessageFaultInjector,
     corrupt_payload,
+    fault_mix_help,
     parse_fault_mix,
+)
+from repro.network.outages import (
+    GrayWindow,
+    OutagePlan,
+    OutageSpec,
+    Partition,
+    RegionalCrash,
+    build_outage_plan,
+    parse_outage_mix,
+    split_chaos_mix,
 )
 from repro.chaos.invariants import (
     INVARIANTS,
@@ -42,7 +53,11 @@ from repro.chaos.invariants import (
     Violation,
     check_all,
 )
-from repro.chaos.shrink import failure_plan_from_events, shrink_failure_plan
+from repro.chaos.shrink import (
+    failure_plan_from_events,
+    shrink_failure_plan,
+    shrink_outage_plan,
+)
 from repro.chaos.workload import (
     QueryOutcome,
     WorkloadChaosConfig,
@@ -58,9 +73,14 @@ __all__ = [
     "ContinuousChaosConfig",
     "FaultDecision",
     "FaultSpec",
+    "GrayWindow",
     "INVARIANTS",
     "MessageFaultInjector",
+    "OutagePlan",
+    "OutageSpec",
+    "Partition",
     "QueryOutcome",
+    "RegionalCrash",
     "ReproArtifact",
     "RunOutcome",
     "RunRecord",
@@ -71,15 +91,20 @@ __all__ = [
     "WindowOutcome",
     "WorkloadChaosConfig",
     "WorkloadChaosOutcome",
+    "build_outage_plan",
     "check_all",
     "corrupt_payload",
     "failure_plan_from_events",
+    "fault_mix_help",
     "parse_fault_mix",
+    "parse_outage_mix",
     "run_campaign",
     "run_single",
     "run_soak",
     "run_workload",
     "shrink_failure_plan",
+    "shrink_outage_plan",
     "shrink_workload_plan",
+    "split_chaos_mix",
     "workload_failure_predicate",
 ]

@@ -18,10 +18,15 @@ from typing import Any
 
 from repro.network.faults import FaultSpec
 from repro.chaos.invariants import RunRecord, Violation, check_all
-from repro.chaos.shrink import failure_plan_from_events, shrink_failure_plan
+from repro.chaos.shrink import (
+    failure_plan_from_events,
+    shrink_failure_plan,
+    shrink_outage_plan,
+)
 from repro.core.planner import PrivacyParameters, ResiliencyParameters
 from repro.data.health import HEALTH_SCHEMA, generate_health_rows
 from repro.network.failures import FailurePlan
+from repro.network.outages import OutagePlan, OutageSpec
 from repro.plan.compile import OPTIMIZER_COST, OPTIMIZER_PINNED, compile_query
 
 __all__ = [
@@ -114,6 +119,14 @@ class RunSpec:
     #: :class:`~repro.plan.optimizer.PhysicalOptimizer` pick strategy,
     #: partitioning, and replication over the run's substrate profile.
     optimizer: str = OPTIMIZER_PINNED
+    #: topology-level outage schedule: a seeded generator spec, or a
+    #: fully-resolved plan (replay/shrink path; overrides the spec)
+    outage_spec: OutageSpec | None = None
+    outage_plan: OutagePlan | None = None
+    #: φ-accrual adaptive failure detection (needs ``reliability``)
+    detector: bool = False
+    #: generation-fenced takeover (split-brain-safe reprovisioning)
+    fencing: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         data = {
@@ -143,12 +156,26 @@ class RunSpec:
             "reliability": self.reliability,
             "phase_deadline": self.phase_deadline,
             "optimizer": self.optimizer,
+            "outage_spec": (
+                self.outage_spec.to_dict()
+                if self.outage_spec is not None
+                else None
+            ),
+            "outage_plan": (
+                self.outage_plan.to_dict()
+                if self.outage_plan is not None
+                else None
+            ),
+            "detector": self.detector,
+            "fencing": self.fencing,
         }
         return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunSpec":
         plan = data.get("failure_plan")
+        outage_spec = data.get("outage_spec")
+        outage_plan = data.get("outage_plan")
         return cls(
             seed=int(data["seed"]),
             tag=str(data["tag"]),
@@ -180,6 +207,18 @@ class RunSpec:
                 else None
             ),
             optimizer=str(data.get("optimizer", OPTIMIZER_PINNED)),
+            outage_spec=(
+                OutageSpec.from_dict(outage_spec)
+                if outage_spec is not None
+                else None
+            ),
+            outage_plan=(
+                OutagePlan.from_dict(outage_plan)
+                if outage_plan is not None
+                else None
+            ),
+            detector=bool(data.get("detector", False)),
+            fencing=bool(data.get("fencing", False)),
         )
 
 
@@ -216,6 +255,8 @@ def _is_clean(spec: RunSpec, result: Any) -> bool:
         "fault_corrupted",
         "fault_duplicated",
         "fault_delayed",
+        "partitioned",
+        "gray_lost",
     )
     return all(not stats.get(key, 0) for key in loss_keys)
 
@@ -253,6 +294,10 @@ def run_single(spec: RunSpec, telemetry: Any = None) -> RunOutcome:
         fault_specs=spec.fault_specs or None,
         reliability=spec.reliability,
         phase_deadline=spec.phase_deadline,
+        outage_spec=spec.outage_spec,
+        outage_plan=spec.outage_plan,
+        detector=spec.detector,
+        fencing=spec.fencing,
     )
     scenario = Scenario(config, telemetry=telemetry)
     substrate = (
@@ -327,6 +372,9 @@ class CampaignConfig:
     reliability: bool = False
     phase_deadline: float | None = None
     optimizer: str = OPTIMIZER_PINNED
+    outage_spec: OutageSpec | None = None
+    detector: bool = False
+    fencing: bool = False
     shrink: bool = True
     shrink_budget: int = 24
 
@@ -367,6 +415,9 @@ class CampaignConfig:
             reliability=self.reliability,
             phase_deadline=self.phase_deadline,
             optimizer=self.optimizer,
+            outage_spec=self.outage_spec,
+            detector=self.detector,
+            fencing=self.fencing,
         )
 
 
@@ -444,6 +495,23 @@ def _reproduces_with_plan(
     return predicate
 
 
+def _reproduces_with_outages(spec: RunSpec, invariant: str) -> Any:
+    """The outage-axis shrink predicate: does this topology-outage
+    schedule (everything else in ``spec`` held fixed) still trigger the
+    same invariant?"""
+
+    def predicate(plan: OutagePlan) -> bool:
+        candidate = dataclasses.replace(
+            spec,
+            outage_spec=None,
+            outage_plan=plan if not plan.is_empty() else None,
+        )
+        outcome = run_single(candidate)
+        return any(v.invariant == invariant for v in outcome.violations)
+
+    return predicate
+
+
 def run_campaign(config: CampaignConfig, telemetry: Any = None) -> CampaignResult:
     """Run a full campaign; shrink and record an artifact per violation."""
     from repro.chaos.artifact import ReproArtifact
@@ -508,6 +576,14 @@ def _build_artifact(
     """
     if not config.shrink:
         return artifact_cls.from_violation(violation, spec, mode="stochastic")
+    # pin the resolved outage schedule (if one drove this run) so the
+    # failure-plan axis shrinks against a fixed topology-outage backdrop
+    resolved_outage = getattr(outcome.result, "outage_plan", None)
+    base_spec = spec
+    if resolved_outage is not None and not resolved_outage.is_empty():
+        base_spec = dataclasses.replace(
+            spec, outage_spec=None, outage_plan=resolved_outage
+        )
     events = outcome.result.failure_events or []
     full_plan = failure_plan_from_events(events)
     if spec.failure_plan is not None:
@@ -517,18 +593,38 @@ def _build_artifact(
             full_plan.crashes.setdefault(device, at)
         for device, windows in spec.failure_plan.disconnections.items():
             full_plan.disconnections.setdefault(device, list(windows))
-    predicate = _reproduces_with_plan(spec, violation.invariant)
+    predicate = _reproduces_with_plan(base_spec, violation.invariant)
     if not predicate(full_plan):
         return artifact_cls.from_violation(violation, spec, mode="stochastic")
     shrunk = shrink_failure_plan(
         full_plan, predicate, max_attempts=config.shrink_budget
     )
     scripted_spec = dataclasses.replace(
-        spec,
+        base_spec,
         failure_plan=(
             shrunk if (shrunk.crashes or shrunk.disconnections) else None
         ),
         crash_probability=0.0,
         disconnect_probability=0.0,
     )
+    if (
+        scripted_spec.outage_plan is not None
+        and not scripted_spec.outage_plan.is_empty()
+    ):
+        # second axis: ddmin the outage schedule with the (already
+        # shrunk) failure plan held fixed
+        outage_predicate = _reproduces_with_outages(
+            scripted_spec, violation.invariant
+        )
+        shrunk_outage = shrink_outage_plan(
+            scripted_spec.outage_plan,
+            outage_predicate,
+            max_attempts=config.shrink_budget,
+        )
+        scripted_spec = dataclasses.replace(
+            scripted_spec,
+            outage_plan=(
+                shrunk_outage if not shrunk_outage.is_empty() else None
+            ),
+        )
     return artifact_cls.from_violation(violation, scripted_spec, mode="scripted")

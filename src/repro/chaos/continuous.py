@@ -75,6 +75,7 @@ class ContinuousChaosConfig:
     message_loss: float = 0.0
     fault_specs: tuple[FaultSpec, ...] = ()
     failure_plan: FailurePlan | None = None
+    outage_plan: Any = None
     standby_count: int = 0
     validity_tolerance: float = 0.75
     liability_max_share: float = 0.5
@@ -87,6 +88,7 @@ class ContinuousChaosConfig:
             or self.message_loss > 0
             or self.fault_specs
             or self.failure_plan is not None
+            or self.outage_plan is not None
         )
 
 
@@ -165,6 +167,7 @@ class _WindowRunResult:
 
 def _collect_failure_events(engine: ContinuousEngine) -> list[Any]:
     events = list(engine.scripted_events)
+    events.extend(engine.outage_events)
     if engine.injector is not None:
         events.extend(engine.injector.events)
     events.sort(key=lambda e: e.time)
@@ -209,6 +212,7 @@ def run_soak(
         standby_count=config.standby_count,
         fault_specs=config.fault_specs or None,
         failure_plan=config.failure_plan,
+        outage_plan=config.outage_plan,
         crash_probability=config.crash_probability,
         disconnect_probability=config.disconnect_probability,
         disconnect_duration=config.disconnect_duration,
@@ -228,6 +232,8 @@ def run_soak(
         "fault_corrupted",
         "fault_duplicated",
         "fault_delayed",
+        "partitioned",
+        "gray_lost",
     )
     any_churn_events = any(
         w.churn is not None and w.churn.any_events for w in result.windows

@@ -30,6 +30,7 @@ __all__ = [
     "check_crowd_liability",
     "check_combiner_dedup",
     "check_no_double_takeover",
+    "check_no_split_brain",
     "check_all",
     "INVARIANTS",
 ]
@@ -93,6 +94,8 @@ def _network_losses(report: Any) -> dict[str, float]:
             "departed",
             "fault_dropped",
             "fault_corrupted",
+            "partitioned",
+            "gray_lost",
         )
     }
 
@@ -310,12 +313,106 @@ def check_no_double_takeover(record: RunRecord) -> Violation | None:
     return None
 
 
+def check_no_split_brain(record: RunRecord) -> Violation | None:
+    """No cell is ever owned by two devices at the same generation with
+    both owners' partials reaching a combiner (split-brain-safe
+    takeover).
+
+    Evidence comes from the runtime's always-on logs: ``fire_log``
+    records every partial-send fire ``(time, cell, device,
+    generation)``; ``arrival_log`` records every combiner-side arrival
+    with its acceptance disposition.  Two violation modes:
+
+    * two *distinct* devices fired the same cell at the *same*
+      generation and both their partials arrived at one combiner — the
+      combiner's pick is then arrival-order-dependent, which is exactly
+      the ambiguity fencing exists to remove (with fencing off this is
+      the expected failure of a reprovision racing a healed partition;
+      the negative harness test asserts the check catches it);
+    * with fencing on, a combiner retained a *stale* generation: the
+      generation it finally holds for a cell is lower than the highest
+      generation that arrived there — monotone fenced acceptance broke.
+
+    Duplicates from a single device (retransmission, dual-combiner
+    fan-out) and backup replicas firing at distinct ranks/generations
+    are legitimate and never flagged.
+    """
+    executor = record.result.executor
+    fire_log = getattr(executor, "fire_log", None)
+    arrival_log = getattr(executor, "arrival_log", None)
+    if not fire_log or arrival_log is None:
+        return None
+    ctx = getattr(executor, "ctx", None)
+    fencing = bool(getattr(ctx, "fencing", False))
+    detector = bool(getattr(ctx, "detector", None))
+    events = getattr(record.result, "failure_events", None) or []
+    outage_active = any(
+        getattr(event, "kind", "") in ("partition_start", "gray_start")
+        for event in events
+    )
+    if not (fencing or detector or outage_active):
+        # legacy churn (plain disconnect/reconnect) predates fencing;
+        # its reprovision-vs-reconnect race is known, benign (both
+        # partials are identical), and not what this invariant guards
+        return None
+
+    firers: dict[tuple[Any, int], set[str]] = {}
+    for _time, cell, device, generation in fire_log:
+        firers.setdefault((cell, generation), set()).add(device)
+    arrivals: dict[tuple[str, Any], dict[int, set[str]]] = {}
+    for _time, cell, op_id, sender, generation, _disposition in arrival_log:
+        arrivals.setdefault((op_id, cell), {}).setdefault(
+            generation, set()
+        ).add(sender)
+
+    for (op_id, cell), by_generation in sorted(arrivals.items()):
+        for generation, senders in sorted(by_generation.items()):
+            fired = firers.get((cell, generation), set())
+            if len(senders) >= 2 and len(fired) >= 2:
+                return Violation(
+                    "no_split_brain",
+                    f"cell {cell} owned by {sorted(senders)} at the same "
+                    f"generation {generation}; both partials reached "
+                    f"{op_id}",
+                    {
+                        "cell": list(cell),
+                        "generation": generation,
+                        "senders": sorted(senders),
+                        "combiner": op_id,
+                        "fencing": fencing,
+                    },
+                )
+
+    if fencing:
+        for name, state in getattr(executor, "combiners", {}).items():
+            accepted = getattr(state, "accepted_generations", {})
+            for (op_id, cell), by_generation in arrivals.items():
+                if op_id != name:
+                    continue
+                held = accepted.get(cell)
+                highest = max(by_generation)
+                if held is not None and held < highest:
+                    return Violation(
+                        "no_split_brain",
+                        f"{name} holds cell {cell} at stale generation "
+                        f"{held} although generation {highest} arrived",
+                        {
+                            "cell": list(cell),
+                            "held": held,
+                            "highest_arrived": highest,
+                            "combiner": name,
+                        },
+                    )
+    return None
+
+
 INVARIANTS = {
     "resiliency": check_resiliency,
     "validity": check_validity,
     "crowd_liability": check_crowd_liability,
     "combiner_dedup": check_combiner_dedup,
     "no_double_takeover": check_no_double_takeover,
+    "no_split_brain": check_no_split_brain,
 }
 
 

@@ -15,8 +15,13 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.network.failures import FailureEvent, FailurePlan
+from repro.network.outages import OutagePlan
 
-__all__ = ["failure_plan_from_events", "shrink_failure_plan"]
+__all__ = [
+    "failure_plan_from_events",
+    "shrink_failure_plan",
+    "shrink_outage_plan",
+]
 
 # one schedulable unit: ("crash", device, at) or
 # ("disconnect", device, start, end)
@@ -143,3 +148,77 @@ def shrink_failure_plan(
                 changed = True
                 break
     return _plan_from_atoms(atoms)
+
+
+def _outage_atoms(plan: OutagePlan) -> list[Atom]:
+    atoms: list[Atom] = []
+    for partition in plan.partitions:
+        atoms.append(("partition", partition))
+    for crash in plan.regional_crashes:
+        atoms.append(("region_crash", crash))
+    for window in plan.gray_windows:
+        atoms.append(("gray", window))
+    return atoms
+
+
+def _outage_plan_from_atoms(atoms: Iterable[Atom]) -> OutagePlan:
+    plan = OutagePlan()
+    for kind, event in atoms:
+        if kind == "partition":
+            plan.partitions.append(event)
+        elif kind == "region_crash":
+            plan.regional_crashes.append(event)
+        else:
+            plan.gray_windows.append(event)
+    return plan.normalized()
+
+
+def shrink_outage_plan(
+    plan: OutagePlan,
+    reproduces: Callable[[OutagePlan], bool],
+    max_attempts: int = 64,
+) -> OutagePlan:
+    """Shrink a topology-outage schedule to a locally minimal one.
+
+    The atoms are whole outage events — one partition window, one
+    regional crash, one gray window — mirroring
+    :func:`shrink_failure_plan`'s contract: ``reproduces`` must be
+    deterministic and hold for ``plan`` itself.
+    """
+    atoms = _outage_atoms(plan)
+    attempts = 0
+
+    def try_plan(candidate_atoms: list[Atom]) -> bool:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return False
+        attempts += 1
+        return reproduces(_outage_plan_from_atoms(candidate_atoms))
+
+    if atoms and try_plan([]):
+        return _outage_plan_from_atoms([])
+
+    chunk = max(len(atoms) // 2, 1)
+    while chunk >= 1 and len(atoms) > 1 and attempts < max_attempts:
+        removed_any = False
+        start = 0
+        while start < len(atoms) and attempts < max_attempts:
+            candidate = atoms[:start] + atoms[start + chunk:]
+            if candidate and len(candidate) < len(atoms) and try_plan(candidate):
+                atoms = candidate
+                removed_any = True
+            else:
+                start += chunk
+        if not removed_any:
+            chunk //= 2
+
+    changed = True
+    while changed and len(atoms) > 1 and attempts < max_attempts:
+        changed = False
+        for index in range(len(atoms) - 1, -1, -1):
+            candidate = atoms[:index] + atoms[index + 1:]
+            if candidate and try_plan(candidate):
+                atoms = candidate
+                changed = True
+                break
+    return _outage_plan_from_atoms(atoms)

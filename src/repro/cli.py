@@ -41,6 +41,9 @@ Examples::
     python -m repro.cli resiliency --n 10
     python -m repro.cli chaos --seed 7 --runs 25 --strategy both \
         --fault-mix "drop=0.05;partition:duplicate=0.2" --repro-out repro/
+    python -m repro.cli chaos --seed 7 --runs 10 --reliability \
+        --detector --fencing \
+        --fault-mix "partition=0.25,gray=0.2,region_crash=0.1"
     python -m repro.cli chaos --replay repro/repro-validity-000.json
     python -m repro.cli chaos --workload 8 --failure-probability 0.004
     python -m repro.cli workload --queries 10 --arrival poisson --rate 2 \
@@ -112,6 +115,15 @@ def _parse_probabilities(raw: str) -> tuple[float, ...]:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    # importing outages registers the topology-outage knobs, so the
+    # generated --fault-mix help always lists every known fault kind
+    import repro.network.outages  # noqa: F401
+    from repro.network.faults import fault_mix_help
+
+    mix_help = (
+        "chaos mix, e.g. 'drop=0.05;partition=0.3,gray=0.2'; "
+        "';'-chunks are routed by knob scope — " + fault_mix_help()
+    )
     parser = argparse.ArgumentParser(
         prog="repro", description="Edgelet computing reproduction CLI"
     )
@@ -151,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="computation-phase deadline for the recovery "
                           "watchdog (defaults to 85%% of the query deadline)")
+    run.add_argument("--fault-mix", default=None, metavar="MIX", help=mix_help)
+    run.add_argument("--detector", action="store_true",
+                     help="adaptive φ-accrual failure detection: suspect "
+                          "partitioned/gray devices from per-link delivery "
+                          "history instead of waiting out the fixed watchdog")
+    run.add_argument("--fencing", action="store_true",
+                     help="generation-numbered fencing tokens on takeover so "
+                          "a resurfacing predecessor cannot split-brain a cell")
     run.add_argument("--strategy", choices=("overcollection", "backup"),
                      default="overcollection")
     run.add_argument("--seed", type=int, default=0)
@@ -221,11 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--strategy",
                        choices=("overcollection", "backup", "both"),
                        default="both")
-    chaos.add_argument("--fault-mix", default=None, metavar="MIX",
-                       help="message faults, e.g. "
-                            "'drop=0.05;partition:duplicate=0.2,delay=0.1' "
-                            "(knobs: drop, duplicate, delay, delay_min, "
-                            "delay_max, corrupt, corrupt_scale)")
+    chaos.add_argument("--fault-mix", default=None, metavar="MIX", help=mix_help)
     chaos.add_argument("--failure-probability", type=_parse_probabilities,
                        default=(0.0, 0.002), metavar="P[,P...]",
                        help="per-device per-tick crash probabilities to sweep")
@@ -235,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--reliability", action="store_true",
                        help="run every scenario with the reliable transport "
                             "and query-level recovery enabled")
+    chaos.add_argument("--detector", action="store_true",
+                       help="adaptive φ-accrual failure detection on every "
+                            "run (requires --reliability to matter)")
+    chaos.add_argument("--fencing", action="store_true",
+                       help="generation-fenced takeover on every run; the "
+                            "no-split-brain invariant then checks the "
+                            "fire/arrival evidence logs")
     chaos.add_argument("--phase-deadline", type=float, default=None,
                        metavar="SECONDS",
                        help="computation-phase deadline for the recovery "
@@ -447,8 +470,24 @@ def _emit_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
         print(render_summary(telemetry))
 
 
+def _split_mix(raw: str | None):
+    """Split a combined ``--fault-mix`` into (fault_specs, outage_spec)."""
+    if not raw:
+        return None, None
+    from repro.chaos import parse_fault_mix, parse_outage_mix, split_chaos_mix
+
+    try:
+        message_part, outage_part = split_chaos_mix(raw)
+        fault_specs = parse_fault_mix(message_part) if message_part else None
+        outage_spec = parse_outage_mix(outage_part) if outage_part else None
+    except ValueError as exc:
+        raise SystemExit(f"--fault-mix: {exc}") from None
+    return fault_specs, outage_spec
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     rows = generate_health_rows(args.rows, seed=args.seed)
+    fault_specs, outage_spec = _split_mix(args.fault_mix)
     config = ScenarioConfig(
         n_contributors=args.contributors,
         n_processors=args.processors,
@@ -460,6 +499,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         secure_channels=args.secure_channels,
         reliability=args.reliability,
         phase_deadline=args.phase_deadline,
+        fault_specs=fault_specs,
+        outage_spec=outage_spec,
+        detector=args.detector,
+        fencing=args.fencing,
         seed=args.seed,
     )
     telemetry = Telemetry()
@@ -587,7 +630,6 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import (
         CampaignConfig,
         TopologySpec,
-        parse_fault_mix,
         run_campaign,
     )
 
@@ -601,7 +643,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if args.strategy == "both"
         else (args.strategy,)
     )
-    fault_mix = parse_fault_mix(args.fault_mix) if args.fault_mix else ()
+    fault_mix, outage_spec = _split_mix(args.fault_mix)
+    fault_mix = fault_mix or ()
     config = CampaignConfig(
         seed=args.seed,
         runs=args.runs,
@@ -622,6 +665,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         reliability=args.reliability,
         phase_deadline=args.phase_deadline,
         optimizer=args.optimizer,
+        outage_spec=outage_spec,
+        detector=args.detector,
+        fencing=args.fencing,
         shrink=not args.no_shrink,
         shrink_budget=args.shrink_budget,
     )
@@ -833,15 +879,22 @@ def _cmd_continuous(args: argparse.Namespace) -> int:
     telemetry = Telemetry()
     exit_code = 0
     if args.check_invariants:
-        from repro.chaos import ContinuousChaosConfig, parse_fault_mix, run_soak
+        from repro.chaos import ContinuousChaosConfig, run_soak
 
+        fault_specs, outage_spec = _split_mix(args.fault_mix)
+        if outage_spec is not None:
+            print(
+                "continuous --fault-mix takes message knobs only; "
+                "outage knobs need a resolved device population — "
+                "use the chaos or run subcommands",
+                file=sys.stderr,
+            )
+            return 2
         config = ContinuousChaosConfig(
             n_contributors=args.contributors,
             n_processors=args.processors,
             churn=churn,
-            fault_specs=(
-                parse_fault_mix(args.fault_mix) if args.fault_mix else ()
-            ),
+            fault_specs=fault_specs or (),
             standby_count=args.standbys,
         )
         outcome = run_soak(spec, config, telemetry=telemetry)
@@ -868,12 +921,15 @@ def _cmd_continuous(args: argparse.Namespace) -> int:
     else:
         from repro.continuous import ContinuousEngine
 
-        if args.fault_mix:
-            from repro.chaos import parse_fault_mix
-
-            fault_specs = parse_fault_mix(args.fault_mix)
-        else:
-            fault_specs = None
+        fault_specs, outage_spec = _split_mix(args.fault_mix)
+        if outage_spec is not None:
+            print(
+                "continuous --fault-mix takes message knobs only; "
+                "outage knobs need a resolved device population — "
+                "use the chaos or run subcommands",
+                file=sys.stderr,
+            )
+            return 2
         engine = ContinuousEngine(
             spec,
             churn=churn,

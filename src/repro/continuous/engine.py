@@ -207,7 +207,7 @@ class ContinuousEngine:
         telemetry: recording target; defaults to the process instance.
         standby_count: extra devices leased per reliable window as the
             recovery watchdog's re-recruitment pool.
-        fault_specs / failure_plan / crash_probability /
+        fault_specs / failure_plan / outage_plan / crash_probability /
         disconnect_probability / disconnect_duration / message_loss:
             chaos hooks, installed once over the whole run (see
             :mod:`repro.chaos.continuous`).
@@ -224,6 +224,7 @@ class ContinuousEngine:
         standby_count: int = 0,
         fault_specs: Any = None,
         failure_plan: Any = None,
+        outage_plan: Any = None,
         crash_probability: float = 0.0,
         disconnect_probability: float = 0.0,
         disconnect_duration: float = 10.0,
@@ -260,6 +261,7 @@ class ContinuousEngine:
             scenario_tag=f"{spec.name}{spec.seed}",
             fault_specs=fault_specs,
             failure_plan=failure_plan,
+            outage_plan=outage_plan,
             reliability=spec.reliability,
         )
         self.scenario = Scenario(self.scenario_config, telemetry=telemetry)
@@ -297,6 +299,7 @@ class ContinuousEngine:
         )
         self.injector: FailureInjector | None = None
         self.scripted_events: list[Any] = []
+        self.outage_events: list[Any] = []
         self._windows: list[WindowRecord] = []
         self._last_executed: WindowRecord | None = None
         self._bytes_mark = 0
@@ -336,6 +339,13 @@ class ContinuousEngine:
             )
         if config.failure_plan is not None:
             self.scripted_events = config.failure_plan.apply(
+                self.scenario.simulator, self.scenario.network
+            )
+        if config.outage_plan is not None and not config.outage_plan.is_empty():
+            # the returned log is live — it fills as the scheduled
+            # outage events fire during the run, so hold the reference
+            # and let readers merge it only after the run drains
+            self.outage_events = config.outage_plan.apply(
                 self.scenario.simulator, self.scenario.network
             )
         if config.crash_probability > 0 or config.disconnect_probability > 0:

@@ -36,25 +36,35 @@ def ship_partition(
     rows: list[dict[str, Any]],
     commitment: str,
     consumers: Iterable[Operator],
+    generation: int | None = None,
 ) -> None:
-    """Project the partition per consumer column group and send it."""
+    """Project the partition per consumer column group and send it.
+
+    ``generation`` is the fencing token stamped on a reprovisioning
+    re-ship; it rides the payload only when set, because the extra key
+    changes sealed-envelope sizes and thereby latency draws — legacy
+    runs must make byte-identical draws.
+    """
     for consumer in consumers:
         group = consumer.params.get("column_group") or ctx.collected_columns
         projected = [
             {column: row.get(column) for column in group} for row in rows
         ]
         target = ctx.device_of(consumer)
+        payload = {
+            "op_id": consumer.op_id,
+            "partition_index": partition_index,
+            "group_index": consumer.params.get("group_index", 0),
+            "commitment": commitment,
+            "rows": projected,
+        }
+        if generation is not None:
+            payload["generation"] = generation
         ctx.ship(
             device,
             target,
             MessageKind.PARTITION,
-            {
-                "op_id": consumer.op_id,
-                "partition_index": partition_index,
-                "group_index": consumer.params.get("group_index", 0),
-                "commitment": commitment,
-                "rows": projected,
-            },
+            payload,
             size_hint=64 * len(projected),
         )
 

@@ -56,16 +56,49 @@ class CombinerState:
         self.partials: dict[tuple[int, int], PartialGroups] = {}
         self.knowledges: dict[int, CentroidKnowledge] = {}
         self.group_tallies = [PartitionTally(config) for _ in range(n_groups)]
+        # fencing: the generation whose partial currently holds each
+        # cell; consulted only on the fenced path
+        self.accepted_generations: dict[tuple[int, int], int] = {}
+        self.fenced_rejections = 0
+        self.fenced_replacements = 0
 
     def record_partial(
-        self, partition_index: int, group_index: int, partial: PartialGroups
-    ) -> None:
-        """Accept one aggregate partial result (idempotent per cell)."""
+        self,
+        partition_index: int,
+        group_index: int,
+        partial: PartialGroups,
+        generation: int = 0,
+        fenced: bool = False,
+    ) -> str:
+        """Accept one aggregate partial result; returns the disposition.
+
+        Unfenced (the legacy path): strictly first-wins per cell —
+        ``"accepted"`` or ``"duplicate"``.  Fenced: acceptance is
+        monotone in the generation token — a strictly higher generation
+        *replaces* the held partial (the reprovisioned owner fences out
+        its predecessor), an equal one is first-wins (``"rejected"``),
+        and a lower one is stale and ``"rejected"`` outright.
+        """
         key = (partition_index, group_index)
-        if key in self.partials:
-            return
-        self.partials[key] = partial
-        self.group_tallies[group_index].record(partition_index)
+        if not fenced:
+            if key in self.partials:
+                return "duplicate"
+            self.partials[key] = partial
+            self.group_tallies[group_index].record(partition_index)
+            return "accepted"
+        current = self.accepted_generations.get(key)
+        if current is None:
+            self.partials[key] = partial
+            self.accepted_generations[key] = generation
+            self.group_tallies[group_index].record(partition_index)
+            return "accepted"
+        if generation > current:
+            self.partials[key] = partial
+            self.accepted_generations[key] = generation
+            self.fenced_replacements += 1
+            return "replaced"
+        self.fenced_rejections += 1
+        return "rejected"
 
     def record_knowledge(self, partition_index: int, knowledge: CentroidKnowledge) -> None:
         """Accept one K-Means knowledge (last write wins per partition)."""
@@ -267,8 +300,18 @@ class CombinerRuntime:
 
     # -- recording -----------------------------------------------------------
 
-    def on_partial_result(self, device: Edgelet, payload: dict[str, Any]) -> None:
-        """Record one inbound partial (aggregate or cluster-stats)."""
+    def on_partial_result(
+        self,
+        device: Edgelet,
+        payload: dict[str, Any],
+        sender: str | None = None,
+    ) -> None:
+        """Record one inbound partial (aggregate or cluster-stats).
+
+        ``sender`` is the originating device of the message (threaded
+        from dispatch); it feeds the arrival evidence log that the
+        ``no-split-brain`` chaos invariant audits.
+        """
         op_id = payload.get("op_id", "")
         state = self.states.get(op_id)
         if state is None:
@@ -277,8 +320,24 @@ class CombinerRuntime:
         if payload.get("stats"):
             self.stats_partials[op_id][payload["partition_index"]] = partial
             return
-        state.record_partial(
-            payload["partition_index"], payload["group_index"], partial
+        generation = int(payload.get("generation", 0))
+        disposition = state.record_partial(
+            payload["partition_index"],
+            payload["group_index"],
+            partial,
+            generation=generation,
+            fenced=self.ctx.fencing,
+        )
+        cell = (payload["partition_index"], payload["group_index"])
+        self.ctx.arrival_log.append(
+            (
+                self.ctx.simulator.now,
+                cell,
+                op_id,
+                sender or "?",
+                generation,
+                disposition,
+            )
         )
         self.ctx.m_partials.inc()
 

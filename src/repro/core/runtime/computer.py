@@ -84,12 +84,18 @@ class ComputerRuntime:
         if computer is None:
             return
         if ctx.kind == "aggregate":
-            self.run_aggregate(device, computer, rows)
+            self.run_aggregate(
+                device, computer, rows, generation=payload.get("generation", 0)
+            )
         else:
             self.init_kmeans(device, computer, rows)
 
     def run_aggregate(
-        self, device: Edgelet, computer: Operator, rows: list[dict[str, Any]]
+        self,
+        device: Edgelet,
+        computer: Operator,
+        rows: list[dict[str, Any]],
+        generation: int = 0,
     ) -> None:
         """Fold one partition into a partial state and ship it."""
         ctx = self.ctx
@@ -110,13 +116,18 @@ class ComputerRuntime:
             "group_index": computer.params.get("group_index", 0),
             "partial": partial.to_dict(),
         }
+        if ctx.fencing:
+            # the fencing token travels only when the feature is on:
+            # the extra key changes sealed-envelope sizes, which feed
+            # latency draws, which must stay legacy-byte-identical
+            payload["generation"] = generation
         ctx.simulator.schedule(
             latency,
-            self._make_partial_send(device, computer, payload),
+            self._make_partial_send(device, computer, payload, generation),
             f"{computer.op_id} partial",
         )
 
-    def _make_partial_send(self, device, computer, payload):
+    def _make_partial_send(self, device, computer, payload, generation: int = 0):
         ctx = self.ctx
 
         def fire() -> None:
@@ -125,6 +136,10 @@ class ComputerRuntime:
                 ctx.trace(f"{computer.op_id} offline, partial lost")
                 return
             ctx.trace(f"{computer.op_id} partial result computed and sent")
+            cell = (payload["partition_index"], payload.get("group_index", 0))
+            ctx.fire_log.append(
+                (ctx.simulator.now, cell, device.device_id, generation)
+            )
             for name in COMBINER_NAMES:
                 combiner_op = ctx.plan.operator(name)
                 target = ctx.device_of(combiner_op)

@@ -51,6 +51,8 @@ class ExecutionContext:
         transport: Any = None,
         recovery: Any = None,
         contribution_cache: Any = None,
+        fencing: bool = False,
+        detector: Any = None,
     ):
         if contribution_copies < 1:
             raise ExecutionError("contribution_copies must be at least 1")
@@ -70,6 +72,25 @@ class ExecutionContext:
         # behaviour.  A standing-query engine threads one cache through
         # consecutive windows so unchanged contributions travel as stamps.
         self.contribution_cache = contribution_cache
+        # split-brain fencing (opt-in): each reprovisioning of a
+        # (partition, group) cell bumps its generation number, the token
+        # travels builder → computer → combiner, and the combiner
+        # accepts monotonically.  Off by default because the token adds
+        # a payload key, and sealed-envelope sizes feed latency draws —
+        # legacy fixed-seed runs must stay byte-identical.
+        self.fencing = fencing
+        # current fencing generation per (partition, group) cell;
+        # absent means generation 0 (the original provisioning)
+        self.generations: dict[tuple[int, int], int] = {}
+        # evidence logs for the no-split-brain invariant: every partial
+        # *fired* toward a combiner (time, cell, device, generation) and
+        # every partial *arriving* at a combiner
+        # (time, cell, combiner_op, device, generation, disposition)
+        self.fire_log: list[tuple[float, tuple[int, int], str, int]] = []
+        self.arrival_log: list[tuple[float, tuple[int, int], str, str, int, str]] = []
+        # optional DetectorConfig (repro.core.runtime.detector); ``None``
+        # keeps the fixed watchdog heuristic
+        self.detector = detector
         self.devices = devices
         self.plan = plan
         # All phase boundaries are relative to the execution's start

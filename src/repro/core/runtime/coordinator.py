@@ -126,6 +126,8 @@ class ExecutionCoordinator:
         recovery: RecoveryConfig | None = None,
         standby_devices: list[str] | None = None,
         contribution_cache: Any = None,
+        fencing: bool = False,
+        detector: Any = None,
     ):
         self.ctx = ExecutionContext(
             simulator=simulator,
@@ -143,6 +145,8 @@ class ExecutionCoordinator:
             transport=transport,
             recovery=recovery,
             contribution_cache=contribution_cache,
+            fencing=fencing,
+            detector=detector,
         )
         self.contributor = ContributorRuntime(self.ctx)
         self.builder = BuilderRuntime(self.ctx)
@@ -242,6 +246,24 @@ class ExecutionCoordinator:
     def chains(self) -> dict[str, BackupChain]:
         """The backup replica chains (empty for overcollection runs)."""
         return getattr(self.strategy, "chains", {})
+
+    @property
+    def fire_log(self) -> list[tuple[float, tuple[int, int], str, int]]:
+        """(time, cell, device, generation) per partial-send fire."""
+        return self.ctx.fire_log
+
+    @property
+    def arrival_log(
+        self,
+    ) -> list[tuple[float, tuple[int, int], str, str, int, str]]:
+        """(time, cell, combiner op, sender, generation, disposition)
+        per combiner-side partial arrival."""
+        return self.ctx.arrival_log
+
+    @property
+    def generations(self) -> dict[tuple[int, int], int]:
+        """Current fencing generation per reprovisioned cell."""
+        return self.ctx.generations
 
     # -- run -----------------------------------------------------------------
 
@@ -345,15 +367,29 @@ class ExecutionCoordinator:
     def make_handler(self, device: Edgelet):
         """One device's receive path: unwrap, then route by kind."""
         def handle(message: Message) -> None:
+            if (
+                message.kind is MessageKind.HEARTBEAT
+                and isinstance(message.payload, dict)
+                and message.payload.get("__probe__")
+            ):
+                # failure-detector liveness probe: a plain (unsealed)
+                # dict the transport already ACKed — never unwrap it
+                return
             payload = self.ctx.unwrap(device, message)
             if payload is None:
                 return
-            self.dispatch(device, message.kind, payload)
+            self.dispatch(device, message.kind, payload, sender=message.sender)
         return handle
 
     # -- message routing -----------------------------------------------------
 
-    def dispatch(self, device: Edgelet, kind: MessageKind, payload: Any) -> None:
+    def dispatch(
+        self,
+        device: Edgelet,
+        kind: MessageKind,
+        payload: Any,
+        sender: str | None = None,
+    ) -> None:
         """Route one unwrapped payload to the owning role runtime."""
         ctx = self.ctx
         if kind == MessageKind.CONTRIBUTION:
@@ -364,7 +400,7 @@ class ExecutionCoordinator:
             self.strategy.on_partition(device, payload)
         elif kind == MessageKind.PARTIAL_RESULT:
             ctx.count_role_dispatch("computing_combiner")
-            self.combiner.on_partial_result(device, payload)
+            self.combiner.on_partial_result(device, payload, sender=sender)
         elif kind == MessageKind.KNOWLEDGE:
             self._route_knowledge(device, payload)
         elif kind == MessageKind.FINAL_RESULT:

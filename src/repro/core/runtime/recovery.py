@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.runtime.builder import commit_snapshot, ship_partition
 from repro.core.runtime.context import ExecutionContext
+from repro.core.runtime.detector import DetectorConfig, PhiAccrualDetector
 from repro.devices.edgelet import Edgelet
 
 if TYPE_CHECKING:
@@ -110,6 +111,33 @@ class RecoveryRuntime:
         self._m_reprovisions = metrics.counter(
             "exec.reprovisions", query=query_id
         )
+        self._m_suspicions = metrics.counter(
+            "exec.detector_suspicions", query=query_id
+        )
+        # adaptive failure detection (opt-in): build the φ-accrual
+        # detector and feed it every transport delivery observation
+        self.detector: PhiAccrualDetector | None = None
+        setting = ctx.detector
+        if setting:
+            if isinstance(setting, PhiAccrualDetector):
+                self.detector = setting
+            elif isinstance(setting, DetectorConfig):
+                self.detector = PhiAccrualDetector(setting)
+            else:
+                self.detector = PhiAccrualDetector()
+            # expose the live instance for invariants and benches
+            ctx.detector = self.detector
+            register = getattr(ctx.transport, "add_link_observer", None)
+            if register is not None:
+                register(self._on_link_event)
+
+    def _on_link_event(
+        self, sender: str, recipient: str, outcome: str, rtt: float | None
+    ) -> None:
+        if self.detector is not None:
+            self.detector.on_link_event(
+                sender, recipient, outcome, rtt, self.ctx.simulator.now
+            )
 
     # -- scheduling ----------------------------------------------------------
 
@@ -140,6 +168,53 @@ class RecoveryRuntime:
                 ),
                 "recovery-watchdog",
             )
+        if self.detector is not None and hasattr(ctx.transport, "probe"):
+            # liveness probes at twice the watchdog cadence: the
+            # detector needs inter-arrival samples before a check can
+            # trust its φ, and failed probes feed the failure streak
+            # that surfaces gray (alive-but-degraded) devices
+            at = first - 0.5 * self.config.watchdog_interval
+            if at <= ctx.collect_end:
+                # a computer is legitimately silent through collection,
+                # so φ over its build-phase cadence would read as death
+                # at the first check: clamp the lead probe into the
+                # grace window so fresh evidence exists by then
+                at = min(
+                    ctx.collect_end + 0.5 * self.config.collection_grace,
+                    first,
+                )
+            while at < last:
+                ctx.simulator.schedule_at(
+                    at,
+                    lambda: (
+                        self.probe_round()
+                        if ctx.simulator.epoch == epoch
+                        else None
+                    ),
+                    "detector-probe",
+                )
+                at += 0.5 * self.config.watchdog_interval
+
+    def probe_round(self) -> None:
+        """Probe every assigned Computer device from the combiner."""
+        ctx = self.ctx
+        if ctx.report.success:
+            return
+        combiner_op = ctx.plan.operator("combiner")
+        prober = ctx.device_of(combiner_op).device_id
+        if not ctx.network.is_online(prober):
+            return
+        targets = sorted(
+            {
+                op.assigned_to
+                for op in self.computer.computers
+                if op.assigned_to is not None
+            }
+        )
+        for target in targets:
+            if target == prober:
+                continue
+            ctx.transport.probe(prober, target)
 
     # -- the watchdog check --------------------------------------------------
 
@@ -170,7 +245,21 @@ class RecoveryRuntime:
             if cell in received:
                 continue
             device_id = operator.assigned_to
-            if device_id is None or ctx.network.is_online(device_id):
+            if device_id is None:
+                continue
+            reachable = ctx.network.is_online(device_id)
+            if reachable and self.detector is not None and self.detector.suspect(
+                device_id, ctx.simulator.now
+            ):
+                # nominally online but the accrual detector has lost
+                # confidence (partitioned away or gray): treat as gone
+                reachable = False
+                self._m_suspicions.inc()
+                ctx.trace(
+                    f"detector: {device_id} suspected "
+                    f"(suspicion over threshold), cell {cell} missing"
+                )
+            if reachable:
                 continue  # reachable: maybe just slow, leave it be
             self._m_fired.inc()
             ctx.trace(
@@ -227,9 +316,29 @@ class RecoveryRuntime:
             (ctx.simulator.now, operator.op_id, old_id or "?", new_id)
         )
         self._m_reprovisions.inc()
+        if self.detector is not None and old_id:
+            # the displaced device's history must not poison a later
+            # suspicion check should the id be re-recruited
+            self.detector.forget(old_id)
+        generation: int | None = None
+        if ctx.fencing:
+            # mint the fencing token: the new owner's partials carry a
+            # strictly higher generation, so a zombie predecessor that
+            # resurfaces (healed partition, recovered gray link) loses
+            # at the combiner instead of split-braining the cell.  Top
+            # over every generation already *fired* for the cell too —
+            # backup-replica ranks double as generations, and the token
+            # must outrank those as well
+            prior = ctx.generations.get(cell, 0)
+            for _time, fired_cell, _device, fired_gen in ctx.fire_log:
+                if fired_cell == cell:
+                    prior = max(prior, fired_gen)
+            generation = prior + 1
+            ctx.generations[cell] = generation
         ctx.trace(
             f"watchdog: reprovisioned {operator.op_id} "
             f"from {old_id} to standby {new_id}"
+            + (f" at generation {generation}" if generation is not None else "")
         )
         ship_partition(
             ctx,
@@ -238,4 +347,5 @@ class RecoveryRuntime:
             rows,
             commit_snapshot(rows),
             [operator],
+            generation=generation,
         )

@@ -341,12 +341,19 @@ class BackupStrategy(StrategyRuntime):
         )
         with ctx.prof_aggregate:
             partial = evaluate_group_by(sub_query, rows)
+        # a replica's rank is its intrinsic promotion token: rank-N
+        # takeover fires at generation N, so a legitimate duplicate fire
+        # (lost "shipped" marker) is distinguishable from true
+        # same-generation split-brain in the fencing evidence
+        generation = rank_of(operator)
         payload = {
             "__aggregate__": True,
             "partition_index": operator.params["partition_index"],
             "group_index": operator.params.get("group_index", 0),
             "partial": partial.to_dict(),
         }
+        if ctx.fencing:
+            payload["generation"] = generation
         latency = device.compute_latency(float(max(len(rows), 1)))
 
         def send() -> None:
@@ -355,6 +362,10 @@ class BackupStrategy(StrategyRuntime):
                 ctx.trace(f"{operator.op_id} offline, partial lost")
                 return
             ctx.trace(f"{operator.op_id} partial result computed and sent")
+            cell = (payload["partition_index"], payload.get("group_index", 0))
+            ctx.fire_log.append(
+                (ctx.simulator.now, cell, device.device_id, generation)
+            )
             for name in COMBINER_NAMES:
                 combiner_op = ctx.plan.operator(name)
                 target = ctx.device_of(combiner_op)

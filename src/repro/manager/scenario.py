@@ -85,6 +85,21 @@ class ScenarioConfig:
         fault_specs: optional tuple of
             :class:`~repro.network.faults.FaultSpec` message-fault rules
             installed on the network (seeded with ``seed + 3``).
+        outage_spec: optional
+            :class:`~repro.network.outages.OutageSpec`; when set, a
+            topology-level outage plan (partitions, correlated regional
+            crashes, gray failures) is generated over the processor
+            pool with ``seed + 5`` and installed at query start.
+        outage_plan: optional pre-resolved
+            :class:`~repro.network.outages.OutagePlan` installed
+            verbatim (chaos replay path); overrides ``outage_spec``.
+        detector: feed transport delivery observations into a φ-accrual
+            failure detector and let the recovery watchdog reprovision
+            *suspected* (partitioned/gray, nominally online) Computers;
+            only meaningful with ``reliability``.
+        fencing: stamp generation-numbered fencing tokens on
+            reprovisioned partitions so a stale predecessor's partial
+            loses at the combiner (split-brain-safe takeover).
         reliability: wire the
             :class:`~repro.network.reliable.ReliableTransport` overlay
             (ACK/retransmission, adaptive timeouts, circuit breakers —
@@ -121,6 +136,10 @@ class ScenarioConfig:
     fault_specs: Any = None
     reliability: bool = False
     phase_deadline: float | None = None
+    outage_spec: Any = None
+    outage_plan: Any = None
+    detector: bool = False
+    fencing: bool = False
 
     def __post_init__(self) -> None:
         if self.phase_deadline is not None and self.phase_deadline <= 0:
@@ -174,6 +193,7 @@ class ScenarioResult:
     failure_events: list[Any] = field(default_factory=list)
     fault_injector: Any = None
     transport: Any = None
+    outage_plan: Any = None
 
 
 class Scenario:
@@ -438,6 +458,7 @@ class Scenario:
         churn and message-loss telemetry on top of it.
         """
         config = self.config
+        outage = config.outage_spec
         return SubstrateProfile(
             name=f"scenario-{self.tag}",
             n_contributors=max(len(self.contributors), 1),
@@ -449,6 +470,12 @@ class Scenario:
             disconnect_probability=config.disconnect_probability,
             deadline=config.deadline,
             reliability=config.reliability,
+            partition_rate=(
+                outage.partition_probability if outage is not None else 0.0
+            ),
+            gray_rate=(
+                outage.gray_probability if outage is not None else 0.0
+            ),
         )
 
     def run_query(
@@ -525,6 +552,8 @@ class Scenario:
             transport=transport,
             recovery=recovery,
             standby_devices=standbys,
+            fencing=self.config.fencing,
+            detector=self.config.detector,
         )
 
         if self.config.caregiver_period is not None:
@@ -552,6 +581,26 @@ class Scenario:
                 self.simulator, self.network
             )
 
+        # topology-level outages: a pre-resolved plan replays verbatim;
+        # a spec resolves over the processor pool with its own seed
+        # stream (seed + 5) so legacy runs draw nothing from it
+        outage_plan = self.config.outage_plan
+        if outage_plan is None and self.config.outage_spec is not None:
+            from repro.network.outages import build_outage_plan
+
+            if not self.config.outage_spec.is_noop():
+                outage_plan = build_outage_plan(
+                    self.config.outage_spec,
+                    [d.device_id for d in self.processors],
+                    horizon=self.simulator.now + self.config.deadline,
+                    seed=self.config.seed + 5,
+                )
+        outage_events: list[Any] = []
+        if outage_plan is not None and not outage_plan.is_empty():
+            # the returned log is live — it fills as scheduled outage
+            # events fire during the run, so merge it only afterwards
+            outage_events = outage_plan.apply(self.simulator, self.network)
+
         if self.config.crash_probability > 0 or self.config.disconnect_probability > 0:
             self.injector = FailureInjector(
                 self.simulator,
@@ -570,6 +619,7 @@ class Scenario:
         exposure = measure_exposure(plan, separated_pairs=separated_pairs)
         liability = measure_liability(plan, tuples_per_device=report.tuples_per_device)
         failure_events = list(scripted_events)
+        failure_events.extend(outage_events)
         if self.injector is not None:
             failure_events.extend(self.injector.events)
         failure_events.sort(key=lambda e: e.time)
@@ -582,6 +632,7 @@ class Scenario:
             failure_events=failure_events,
             fault_injector=self.network.faults,
             transport=transport,
+            outage_plan=outage_plan,
         )
 
     def record_query_metrics(

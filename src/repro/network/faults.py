@@ -42,6 +42,10 @@ __all__ = [
     "MessageFaultInjector",
     "corrupt_payload",
     "parse_fault_mix",
+    "FAULT_KNOBS",
+    "register_fault_knob",
+    "fault_mix_help",
+    "message_knobs",
 ]
 
 # payload keys that carry routing/protocol structure rather than data;
@@ -64,8 +68,67 @@ _STRUCTURAL_KEYS = frozenset(
         "registers",
         "knowledges_merged",
         "k",
+        # fencing token: corrupting it would turn a tamper fault into a
+        # bogus promotion/rejection, which is a different failure mode
+        "generation",
     }
 )
+
+
+# -- fault-knob registry ------------------------------------------------------
+#
+# Every fault kind the chaos CLI can express registers its knobs here,
+# keyed by the ``name=value`` token accepted in ``--fault-mix`` strings.
+# The CLI help text and the parser's "known knobs" set are both derived
+# from this registry, so a new fault family (e.g. the topology-level
+# outages in :mod:`repro.network.outages`) appears in ``--fault-mix
+# --help`` automatically the moment its module registers its knobs.
+
+#: knob name -> (scope, one-line description).  Scope ``"message"``
+#: knobs configure :class:`FaultSpec` rules rolled per send;
+#: ``"outage"`` knobs configure topology-level outage generation.
+FAULT_KNOBS: dict[str, tuple[str, str]] = {}
+
+
+def register_fault_knob(name: str, scope: str, description: str) -> None:
+    """Register one ``--fault-mix`` knob (idempotent per name)."""
+    if scope not in ("message", "outage"):
+        raise ValueError(f"unknown fault-knob scope {scope!r}")
+    FAULT_KNOBS[name] = (scope, description)
+
+
+def message_knobs() -> frozenset[str]:
+    """Knob names that configure per-message :class:`FaultSpec` rules."""
+    return frozenset(
+        name for name, (scope, _) in FAULT_KNOBS.items() if scope == "message"
+    )
+
+
+def fault_mix_help() -> str:
+    """Render the registry as CLI help text, grouped by scope."""
+    lines: list[str] = []
+    for scope, title in (("message", "message faults"), ("outage", "topology outages")):
+        knobs = [
+            (name, desc)
+            for name, (knob_scope, desc) in sorted(FAULT_KNOBS.items())
+            if knob_scope == scope
+        ]
+        if not knobs:
+            continue
+        lines.append(f"{title}: " + "; ".join(f"{n} ({d})" for n, d in knobs))
+    return " | ".join(lines)
+
+
+for _name, _desc in (
+    ("drop", "P(message vanishes before routing)"),
+    ("duplicate", "P(one extra copy is injected)"),
+    ("delay", "P(extra latency term)"),
+    ("delay_min", "min extra delay, seconds"),
+    ("delay_max", "max extra delay, seconds"),
+    ("corrupt", "P(payload tampered at the TEE boundary)"),
+    ("corrupt_scale", "factor applied to corrupted numeric leaves"),
+):
+    register_fault_knob(_name, "message", _desc)
 
 
 @dataclass(frozen=True)
@@ -308,10 +371,7 @@ def parse_fault_mix(text: str) -> tuple[FaultSpec, ...]:
                 raise ValueError(f"fault-mix knob {knob!r} is not name=value")
             name, value = knob.split("=", 1)
             knobs[name.strip()] = float(value)
-        known = {
-            "drop", "duplicate", "delay", "delay_min", "delay_max",
-            "corrupt", "corrupt_scale",
-        }
+        known = message_knobs()
         unknown = set(knobs) - known
         if unknown:
             raise ValueError(

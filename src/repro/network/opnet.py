@@ -63,7 +63,7 @@ class DeliveryReceipt:
 
     message_id: int
     outcome: str  # "delivered", "lost", "dropped_timeout", "no_route",
-    #               "dead", "departed", "dropped_fault"
+    #               "dead", "departed", "dropped_fault", "partitioned"
     latency: float | None = None
 
 
@@ -78,6 +78,8 @@ class NetworkStats:
         self.no_route = 0
         self.to_dead_device = 0
         self.departed = 0
+        self.partitioned = 0
+        self.gray_lost = 0
         self.fault_dropped = 0
         self.fault_duplicated = 0
         self.fault_delayed = 0
@@ -99,6 +101,8 @@ class NetworkStats:
             "no_route": self.no_route,
             "to_dead_device": self.to_dead_device,
             "departed": self.departed,
+            "partitioned": self.partitioned,
+            "gray_lost": self.gray_lost,
             "fault_dropped": self.fault_dropped,
             "fault_duplicated": self.fault_duplicated,
             "fault_delayed": self.fault_delayed,
@@ -154,6 +158,19 @@ class OpportunisticNetwork:
         self._departed: set[str] = set()
         self._inboxes: dict[str, list[tuple[float, Message]]] = {}
         self._receipts: list[DeliveryReceipt] = []
+        # topology-level outage state (repro.network.outages).  Each
+        # active partition is a tuple of islands (frozensets of device
+        # ids); devices absent from every island sit on the implicit
+        # mainland.  Gray devices keep their handler but suffer inflated
+        # latency and extra loss on every link they touch.  All of this
+        # is checked behind cheap truthiness guards and the gray loss
+        # trials draw from a dedicated RNG, so runs without outages make
+        # exactly the draws they always made.
+        self._partitions: dict[int, tuple[frozenset[str], ...]] = {}
+        self._partition_ids = itertools.count(1)
+        self._gray: dict[str, tuple[float, float]] = {}
+        self._gray_rng: random.Random | None = None
+        self._departure_listeners: list[Callable[[str], None]] = []
         # optional chaos hook (see repro.network.faults.MessageFaultInjector);
         # owns its own RNG, so installing one never shifts self._rng's stream
         self.faults: Any = None
@@ -168,6 +185,8 @@ class OpportunisticNetwork:
         self._m_no_route = metrics.counter("net.messages_no_route")
         self._m_dead = metrics.counter("net.messages_to_dead_device")
         self._m_departed = metrics.counter("net.messages_to_departed_device")
+        self._m_partitioned = metrics.counter("net.messages_partitioned")
+        self._m_gray_lost = metrics.counter("net.messages_gray_lost")
         self._m_bytes_sent = metrics.counter("net.bytes_sent")
         self._m_bytes_delivered = metrics.counter("net.bytes_delivered")
         self._g_buffered = metrics.gauge("net.store_and_forward_occupancy")
@@ -239,6 +258,19 @@ class OpportunisticNetwork:
             self._receipts.append(
                 DeliveryReceipt(message.message_id, "departed")
             )
+        # notify observers (e.g. ReliableTransport) so in-flight
+        # transfers to the departed peer fail immediately instead of
+        # retransmitting until the budget drains.  Deliberately NOT
+        # invoked from kill(): a crash is a fault the transport must
+        # *discover* (that lazy discovery is what existing fixed-seed
+        # crash campaigns replay), whereas a graceful departure is
+        # announced by the owner walking away.
+        for listener in self._departure_listeners:
+            listener(device_id)
+
+    def add_departure_listener(self, listener: Callable[[str], None]) -> None:
+        """Call ``listener(device_id)`` on each graceful :meth:`leave`."""
+        self._departure_listeners.append(listener)
 
     def kill(self, device_id: str) -> None:
         """Permanently crash a device; buffered messages are discarded."""
@@ -253,6 +285,80 @@ class OpportunisticNetwork:
             self._receipts.append(
                 DeliveryReceipt(message.message_id, "dead")
             )
+
+    # -- topology outages ---------------------------------------------------
+
+    def partition(self, islands: list[tuple[str, ...]] | tuple[tuple[str, ...], ...]) -> int:
+        """Cut the network into components; returns a token for :meth:`heal`.
+
+        ``islands`` lists device groups; devices in different islands —
+        or in an island versus the implicit mainland of unlisted
+        devices — cannot exchange messages while the partition is
+        active.  Partitions compose: with several active, two devices
+        communicate only if no active partition separates them.
+        """
+        resolved = tuple(frozenset(island) for island in islands if island)
+        if not resolved:
+            raise ValueError("partition needs at least one non-empty island")
+        token = next(self._partition_ids)
+        self._partitions[token] = resolved
+        return token
+
+    def heal(self, token: int) -> None:
+        """Remove one partition (no-op if already healed or reset)."""
+        self._partitions.pop(token, None)
+
+    def partition_blocks(self, sender: str, recipient: str) -> bool:
+        """Whether an active partition separates the two devices."""
+        for islands in self._partitions.values():
+            sender_side = recipient_side = -1
+            for index, island in enumerate(islands):
+                if sender in island:
+                    sender_side = index
+                if recipient in island:
+                    recipient_side = index
+            if sender_side != recipient_side:
+                return True
+        return False
+
+    def set_gray(
+        self, device_id: str, latency_factor: float = 1.0, extra_loss: float = 0.0
+    ) -> None:
+        """Mark a device gray: slow and lossy on every link, not dead."""
+        if latency_factor < 1.0:
+            raise ValueError("latency_factor must be >= 1")
+        if not 0 <= extra_loss <= 1:
+            raise ValueError("extra_loss must be in [0, 1]")
+        self._gray[device_id] = (latency_factor, extra_loss)
+
+    def clear_gray(self, device_id: str) -> None:
+        """Restore a gray device to nominal link behaviour."""
+        self._gray.pop(device_id, None)
+
+    def is_gray(self, device_id: str) -> bool:
+        """Whether the device is currently gray-failing."""
+        return device_id in self._gray
+
+    def _gray_effect(self, sender: str, recipient: str) -> tuple[float, float]:
+        """Combined (latency factor, extra loss) for one link's endpoints."""
+        factor, survive = 1.0, 1.0
+        for device_id in (sender, recipient):
+            entry = self._gray.get(device_id)
+            if entry is not None:
+                factor *= entry[0]
+                survive *= 1.0 - entry[1]
+        return factor, 1.0 - survive
+
+    def _gray_trial(self) -> float:
+        """Loss draw from the gray-dedicated RNG stream.
+
+        Lazily created from a string-derived seed so the main RNG
+        stream's draw sequence is untouched whether or not any device
+        ever goes gray.
+        """
+        if self._gray_rng is None:
+            self._gray_rng = random.Random(f"{self._seed}:gray")
+        return self._gray_rng.random()
 
     # -- sending ------------------------------------------------------------
 
@@ -275,6 +381,9 @@ class OpportunisticNetwork:
         self._message_ids = itertools.count(1)
         self._dead.clear()
         self._receipts.clear()
+        self._partitions.clear()
+        self._gray.clear()
+        self._gray_rng = None
         # _departed deliberately survives: reset() rewinds dynamic state
         # of the *population that remains*, it does not re-admit devices
         # whose owners permanently left mid-history
@@ -320,6 +429,11 @@ class OpportunisticNetwork:
             self._m_dead.inc()
             self._receipts.append(DeliveryReceipt(message.message_id, "dead"))
             return
+        if self._partitions and self.partition_blocks(message.sender, message.recipient):
+            self.stats.partitioned += 1
+            self._m_partitioned.inc()
+            self._receipts.append(DeliveryReceipt(message.message_id, "partitioned"))
+            return
 
         copies = 1
         extra_delay = 0.0
@@ -344,6 +458,16 @@ class OpportunisticNetwork:
                 self._m_fault_delayed.inc()
             copies = decision.copies
             extra_delay = decision.extra_delay
+
+        # gray endpoints inflate latency and add loss *after* the normal
+        # trials: extra loss draws come from the gray-dedicated RNG and
+        # latency is scaled post-sampling, so the main stream's draw
+        # count is identical with and without gray devices
+        gray_factor, gray_loss = 1.0, 0.0
+        if self._gray:
+            gray_factor, gray_loss = self._gray_effect(
+                message.sender, message.recipient
+            )
 
         rng = self._rng_for(message)
         # each copy takes its own loss and latency trials, exactly the
@@ -372,7 +496,13 @@ class OpportunisticNetwork:
             if lost:
                 continue
 
-            latency = extra_delay + sum(
+            if gray_loss > 0 and self._gray_trial() < gray_loss:
+                self.stats.gray_lost += 1
+                self._m_gray_lost.inc()
+                self._record_loss(message)
+                continue
+
+            latency = extra_delay + gray_factor * sum(
                 quality.sample_latency(message.size_bytes, rng)
                 for _ in range(hops)
             )

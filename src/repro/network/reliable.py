@@ -263,6 +263,8 @@ class TransportStats:
         self.transfers_started = 0
         self.transfers_acked = 0
         self.transfers_failed = 0
+        self.probes_sent = 0
+        self.departure_fast_fails = 0
         self.retransmissions = 0
         self.acks_sent = 0
         self.stale_acks = 0
@@ -320,6 +322,25 @@ class ReliableTransport:
         self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
         self._receipts: list[TransportReceipt] = []
         self._budget_left = self.config.retransmit_budget
+        # per-link delivery observers (e.g. the φ-accrual failure
+        # detector in repro.core.runtime.detector, which must not be
+        # imported from here — the layering points the other way, so it
+        # registers a callback instead)
+        self._link_observers: list[
+            Callable[[str, str, str, float | None], None]
+        ] = []
+        # probes are single-shot acknowledged transfers: one timeout is
+        # the evidence, retrying would only blur it
+        self._probe_policy = DeliveryPolicy(
+            mode=AT_LEAST_ONCE, max_attempts=1, jitter_fraction=0.0
+        )
+        # graceful departures fail in-flight transfers immediately
+        # instead of retransmitting into the void until the budget
+        # drains (the mux wrapper used by the workload engine does not
+        # expose the hook; transfers there still fail via is_dead())
+        register = getattr(network, "add_departure_listener", None)
+        if register is not None:
+            register(self._on_peer_departed)
         if telemetry is None:
             telemetry = network.telemetry
         self.telemetry = telemetry
@@ -344,6 +365,20 @@ class ReliableTransport:
         if policy.mode == AT_MOST_ONCE or message.kind is MessageKind.ACK:
             self.stats.sent_at_most_once += 1
             self.network.send(message)
+            return
+        if self._peer_departed(message.recipient):
+            # fail fast: the owner walked away, no retransmission can
+            # ever be answered
+            self.stats.departure_fast_fails += 1
+            self.stats.transfers_started += 1
+            self._fail(
+                _Pending(
+                    transfer_id=next(self._transfer_ids),
+                    template=message,
+                    policy=policy,
+                ),
+                "peer_dead",
+            )
             return
         transfer_id = next(self._transfer_ids)
         message.headers[TRANSFER_HEADER] = transfer_id
@@ -386,7 +421,73 @@ class ReliableTransport:
         """The circuit breaker guarding a directed link."""
         return self._breaker((sender, recipient))
 
+    def add_link_observer(
+        self, observer: Callable[[str, str, str, float | None], None]
+    ) -> None:
+        """Register ``observer(sender, recipient, outcome, rtt)`` called
+        on every terminal transfer outcome — the hook that feeds
+        per-link delivery evidence to an adaptive failure detector
+        without this module importing one."""
+        self._link_observers.append(observer)
+
+    def probe(self, sender: str, recipient: str, size_bytes: int = 32) -> int:
+        """Send a single-shot liveness probe over a directed link.
+
+        A heartbeat carrying a transfer id: the receiver ACKs it like
+        any acknowledged transfer, so the probe's outcome (``acked``
+        within the adaptive RTO, or ``gave_up`` on timeout) reaches the
+        registered link observers.  Returns the transfer id.
+        """
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=MessageKind.HEARTBEAT,
+            payload={"__probe__": True},
+            size_bytes=size_bytes,
+        )
+        if self._peer_departed(recipient):
+            self.stats.departure_fast_fails += 1
+            self.stats.transfers_started += 1
+            pending = _Pending(
+                transfer_id=next(self._transfer_ids),
+                template=message,
+                policy=self._probe_policy,
+            )
+            self._fail(pending, "peer_dead")
+            return pending.transfer_id
+        transfer_id = next(self._transfer_ids)
+        message.headers[TRANSFER_HEADER] = transfer_id
+        pending = _Pending(
+            transfer_id=transfer_id, template=message, policy=self._probe_policy
+        )
+        self._pending[transfer_id] = pending
+        self.stats.transfers_started += 1
+        self.stats.probes_sent += 1
+        self._transmit(pending)
+        return transfer_id
+
     # -- internals ----------------------------------------------------------
+
+    def _peer_departed(self, device_id: str) -> bool:
+        checker = getattr(self.network, "has_departed", None)
+        return bool(checker is not None and checker(device_id))
+
+    def _on_peer_departed(self, device_id: str) -> None:
+        """Fail every in-flight transfer addressed to a departed peer.
+
+        Surfacing ``peer_dead`` immediately (instead of lazily on the
+        next RTO expiry, then again per attempt until the budget or
+        attempt cap drained) is the graceful-departure contract: the
+        network told us the owner left, so the evidence is conclusive.
+        """
+        doomed = [
+            pending
+            for pending in self._pending.values()
+            if not pending.done and pending.template.recipient == device_id
+        ]
+        for pending in doomed:
+            self.stats.departure_fast_fails += 1
+            self._fail(pending, "peer_dead")
 
     def _estimator(self, link: tuple[str, str]) -> RttEstimator:
         estimator = self._estimators.get(link)
@@ -561,3 +662,12 @@ class ReliableTransport:
             )
         )
         self._pending.pop(pending.transfer_id, None)
+        if self._link_observers:
+            # Karn's rule withholds the RTT from the *estimator* on
+            # retransmitted transfers; the detector still wants an
+            # arrival signal, so fall back to time-since-last-send
+            sample = rtt
+            if outcome == "acked" and sample is None:
+                sample = self.simulator.now - pending.last_sent_at
+            for observer in self._link_observers:
+                observer(template.sender, template.recipient, outcome, sample)

@@ -40,6 +40,12 @@ class SubstrateProfile:
             a per-query fault mass).
         reliability: whether the ACK/retransmission overlay is wired —
             it heals most message loss at the price of duplicate bytes.
+        partition_rate: probability that a region of the swarm spends a
+            partition window cut off during the query (correlated loss:
+            every member of the region fails *together*, so the planner
+            must presume the whole region's partitions at risk).
+        gray_rate: probability a device spends a gray window degraded
+            (inflated latency, elevated loss) without dying.
     """
 
     name: str
@@ -52,6 +58,8 @@ class SubstrateProfile:
     disconnect_probability: float = 0.0
     deadline: float = 100.0
     reliability: bool = False
+    partition_rate: float = 0.0
+    gray_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_contributors <= 0:
@@ -61,7 +69,8 @@ class SubstrateProfile:
         if len(self.device_mix) != 3 or sum(self.device_mix) <= 0:
             raise ValueError("device_mix must be 3 non-negative weights")
         for name in ("fault_rate", "message_loss", "crash_probability",
-                     "disconnect_probability"):
+                     "disconnect_probability", "partition_rate",
+                     "gray_rate"):
             value = getattr(self, name)
             if not 0 <= value < 1:
                 raise ValueError(f"{name} must be in [0, 1)")
@@ -82,8 +91,18 @@ class SubstrateProfile:
             ticks_to_deadline=self.deadline,
         )
         loss = 0.0 if self.reliability else self.message_loss
+        # correlated outages: a partitioned region misses the whole
+        # computation window unless recovery reprovisions it, and a
+        # gray device is only *partially* effective (the overlay
+        # eventually pushes messages through), so weight gray at half
+        outage = 1.0 - (1.0 - self.partition_rate) * (
+            1.0 - 0.5 * self.gray_rate
+        )
         combined = 1.0 - (
-            (1.0 - self.fault_rate) * (1.0 - churn) * (1.0 - loss)
+            (1.0 - self.fault_rate)
+            * (1.0 - churn)
+            * (1.0 - loss)
+            * (1.0 - outage)
         )
         # the planner's own validation requires fault_rate < 1
         return min(combined, 0.95)

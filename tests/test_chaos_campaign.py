@@ -90,6 +90,33 @@ class TestRunDeterminism:
         assert outcome.violations == []
         assert outcome.result.transport is not None
 
+    def test_outage_defaults_for_old_artifacts(self):
+        # artifacts written before the correlated-failure substrate must
+        # still load with outages, the detector, and fencing all off
+        data = RunSpec(seed=5, tag="old").to_dict()
+        del data["outage_spec"]
+        del data["outage_plan"]
+        del data["detector"]
+        del data["fencing"]
+        clone = RunSpec.from_dict(data)
+        assert clone.outage_spec is None
+        assert clone.outage_plan is None
+        assert clone.detector is False
+        assert clone.fencing is False
+
+    def test_legacy_artifact_replays_identically_to_full_fields(self):
+        # a pre-outage artifact and the same spec serialized today must
+        # execute the same run: the new fields default to no-ops and
+        # draw nothing from the seeded streams
+        spec = RunSpec(seed=21, tag="legacy-art", message_loss=0.2)
+        data = spec.to_dict()
+        for field in ("outage_spec", "outage_plan", "detector", "fencing"):
+            del data[field]
+        legacy = RunSpec.from_dict(json.loads(json.dumps(data)))
+        assert _result_fingerprint(run_single(legacy)) == _result_fingerprint(
+            run_single(spec)
+        )
+
 
 class TestCampaign:
     def test_grid_sweeps_every_cell_and_stays_ok(self):

@@ -13,6 +13,7 @@ from repro.chaos import ContinuousChaosConfig, run_soak
 from repro.continuous import StandingQuerySpec
 from repro.devices.churn import ChurnSpec
 from repro.network.faults import parse_fault_mix
+from repro.network.outages import GrayWindow, OutagePlan, Partition
 from repro.telemetry import Telemetry
 
 
@@ -45,6 +46,40 @@ class TestThirtyWindowSoak:
             assert window.ok, (window.window_id, window.violations)
         # the soak actually exercised chaos, not a clean run in disguise
         assert not outcome.clean
+
+    def test_soak_survives_partition_and_gray_outages(self):
+        # topology-level outages on top of churn: one processor cut off
+        # across windows 2-3, another gray-degraded across windows 5-7
+        # (cadence is 20s, so 8 windows span 160s of virtual time)
+        spec = _soak_spec(8, seed=11)
+        plan = OutagePlan(
+            partitions=[
+                Partition(
+                    start=40.0, end=70.0, islands=(("soak11-proc-00003",),)
+                )
+            ],
+            gray_windows=[
+                GrayWindow(
+                    device_id="soak11-proc-00005",
+                    start=100.0,
+                    end=160.0,
+                    latency_factor=6.0,
+                    extra_loss=0.2,
+                )
+            ],
+        )
+        config = ContinuousChaosConfig(
+            churn=ChurnSpec(departure_probability=0.10, seed=11),
+            outage_plan=plan,
+            standby_count=2,
+        )
+        outcome = run_soak(spec, config, telemetry=Telemetry())
+        assert outcome.ok, [str(v) for v in outcome.violations]
+        assert outcome.result.completed + outcome.result.skipped == 8
+        assert not outcome.clean
+        # the outage evidence made it into the failure-event record
+        kinds = {e.kind for e in outcome.failure_events}
+        assert "partition_start" in kinds and "gray_start" in kinds
 
     def test_soak_replays_deterministically(self):
         spec = _soak_spec(8, seed=11)

@@ -10,10 +10,12 @@ ACK routing for per-query reliable transports.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 from repro.network.messages import Message, MessageKind
 from repro.network.mux import QUERY_HEADER, QueryMux
 from repro.network.opnet import NetworkConfig, OpportunisticNetwork
-from repro.network.reliable import ReliableTransport
+from repro.network.reliable import ReliabilityConfig, ReliableTransport
 from repro.network.simulator import Simulator
 from repro.network.topology import ContactGraph, LinkQuality
 
@@ -230,3 +232,46 @@ class TestPerQueryTransports:
         assert [m.payload for m in got2] == ["second"]
         assert t1.stats.duplicates_suppressed == 0
         assert t2.stats.duplicates_suppressed == 0
+
+
+class _Outage:
+    """Fault injector dropping all data traffic while active."""
+
+    def __init__(self):
+        self.active = True
+
+    def on_send(self, message: Message) -> SimpleNamespace:
+        drop = self.active and message.kind is MessageKind.CONTRIBUTION
+        return SimpleNamespace(drop=drop, corrupt=False, copies=1, extra_delay=0.0)
+
+
+class TestBreakerIsolation:
+    def test_half_open_probe_recovery_is_per_query(self):
+        # both queries trip their (a, b) breaker during an outage; after
+        # the link heals, q1's half-open probe succeeds and closes q1's
+        # breaker only — q2's view of the link must stay open until q2
+        # itself observes a success
+        config = ReliabilityConfig(breaker_threshold=2, breaker_cooldown=5.0)
+        sim, network = _network()
+        outage = _Outage()
+        network.install_faults(outage)
+        mux = QueryMux(network)
+        t1 = ReliableTransport(mux.endpoint("q1"), config=config, seed=1)
+        t2 = ReliableTransport(mux.endpoint("q2"), config=config, seed=2)
+        for transport in (t1, t2):
+            transport.attach("a", lambda m: None)
+            transport.attach("b", lambda m: None)
+        t1.send(_msg(payload="p1"))
+        t2.send(_msg(payload="p2"))
+        sim.run()
+        assert t1.breaker_for("a", "b").is_open
+        assert t2.breaker_for("a", "b").is_open
+
+        def heal_and_probe():
+            outage.active = False
+            t1.probe("a", "b")
+
+        sim.schedule_at(sim.now + 100.0, heal_and_probe, "heal")
+        sim.run()
+        assert not t1.breaker_for("a", "b").is_open
+        assert t2.breaker_for("a", "b").is_open

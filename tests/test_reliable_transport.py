@@ -296,6 +296,54 @@ class TestCircuitBreaker:
         assert breaker.failures == 0
 
 
+class TestGracefulDeparture:
+    def test_leave_fails_in_flight_transfers_immediately(self):
+        # graceful leave() is conclusive evidence: the in-flight
+        # transfer must surface peer_dead at departure time, not grind
+        # through the remaining RTO expiries and retransmission attempts
+        config = ReliabilityConfig(breaker_threshold=100)
+        sim, network, transport = _stack(loss=1.0, config=config)
+        transport.attach("a", lambda m: None)
+        transport.attach("b", lambda m: None)
+        transport.send(_msg())
+        sim.schedule_at(0.5, lambda: network.leave("b"), "leave-b")
+        sim.run()
+        (receipt,) = transport.receipts
+        assert receipt.outcome == "peer_dead"
+        assert receipt.attempts < DeliveryPolicy().max_attempts
+        assert transport.stats.departure_fast_fails == 1
+        # the doomed transfer stopped retransmitting once "b" left, so
+        # the shared budget was not drained by unanswerable resends
+        assert transport.stats.retransmissions <= 1
+        assert transport.pending_count == 0
+
+    def test_send_after_leave_fast_fails(self):
+        sim, network, transport = _stack()
+        transport.attach("a", lambda m: None)
+        transport.attach("b", lambda m: None)
+        network.leave("b")
+        transport.send(_msg())
+        sim.run()
+        (receipt,) = transport.receipts
+        assert receipt.outcome == "peer_dead"
+        assert receipt.attempts == 0 or receipt.attempts == 1
+        assert transport.stats.departure_fast_fails == 1
+
+    def test_silent_crash_is_not_fast_failed(self):
+        # kill() models a crash: no goodbye, so the transport must learn
+        # the hard way (timeouts), never via the departure listener
+        config = ReliabilityConfig(breaker_threshold=100)
+        sim, network, transport = _stack(config=config)
+        transport.attach("a", lambda m: None)
+        transport.attach("b", lambda m: None)
+        network.kill("b")
+        transport.send(_msg())
+        sim.run()
+        (receipt,) = transport.receipts
+        assert receipt.outcome == "peer_dead"
+        assert transport.stats.departure_fast_fails == 0
+
+
 class TestDeterminism:
     def _run(self, seed: int):
         sim, network, transport = _stack(loss=0.4, seed=seed)

@@ -51,6 +51,13 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
     # the reliable transport is pure plumbing: it retries opaque
     # payloads and must never learn about query execution semantics
     "repro.network.reliable": ("repro.core",),
+    # topology outages script the network substrate from outside; the
+    # schedule must stay runtime-agnostic so artifacts replay anywhere
+    "repro.network.outages": ("repro.core",),
+    # the φ-accrual detector consumes link observations pushed *to* it
+    # (via the recovery runtime's observer); if it imported the
+    # transport the dependency would run both ways
+    "repro.core.runtime.detector": ("repro.network.reliable",),
     # the manager orchestrates one query at a time; the workload
     # engine multiplexes *on top of* it and chaos probes both from
     # above, so neither may leak back down into the manager
