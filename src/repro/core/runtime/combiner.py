@@ -21,6 +21,7 @@ from repro.core.runtime.report import ExecutionError, KMeansOutcome
 from repro.devices.edgelet import Edgelet
 from repro.ml.distributed_kmeans import CentroidKnowledge, merge_knowledge
 from repro.network.messages import MessageKind
+from repro.query.columnar import merge_partials_columnar
 from repro.query.groupby import (
     GroupByQuery,
     GroupingSetsResult,
@@ -47,12 +48,20 @@ class CombinerState:
         n_groups: int,
         query: GroupByQuery | None,
         extrapolate: bool,
+        engine: str = "row",
     ):
         self.name = name
         self.config = config
         self.n_groups = n_groups
         self.query = query
         self.extrapolate = extrapolate
+        # "columnar" merges partials as column blocks (bit-identical
+        # results); the stored partials stay row-format PartialGroups
+        # either way — the dedup/fencing invariants introspect them
+        self.engine = engine
+        self._merge = (
+            merge_partials_columnar if engine == "columnar" else merge_partials
+        )
         self.partials: dict[tuple[int, int], PartialGroups] = {}
         self.knowledges: dict[int, CentroidKnowledge] = {}
         self.group_tallies = [PartitionTally(config) for _ in range(n_groups)]
@@ -135,7 +144,7 @@ class CombinerState:
                     for i in aggregate_indices_per_group[group_index]
                 ),
             )
-            merged = merge_partials(
+            merged = self._merge(
                 group_query,
                 (
                     self.partials[(p, g)]
@@ -180,7 +189,7 @@ class CombinerState:
                     for i in aggregate_indices_per_group[group_index]
                 ),
             )
-            merged = merge_partials(
+            merged = self._merge(
                 group_query,
                 (
                     self.partials[(p, g)]
@@ -293,6 +302,7 @@ class CombinerRuntime:
                 n_groups=len(ctx.column_groups),
                 query=ctx.query,
                 extrapolate=ctx.extrapolate_lost,
+                engine=ctx.engine,
             )
         self.stats_partials: dict[str, dict[int, PartialGroups]] = {
             name: {} for name in COMBINER_NAMES
@@ -475,7 +485,10 @@ class CombinerRuntime:
             partials = self.stats_partials[name]
             if not partials:
                 continue
-            merged = merge_partials(
+            merged = (
+                merge_partials_columnar if ctx.engine == "columnar"
+                else merge_partials
+            )(
                 ctx.stats_query,
                 (partials[key] for key in sorted(partials)),
             )

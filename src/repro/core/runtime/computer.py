@@ -22,6 +22,7 @@ from repro.core.runtime.context import ExecutionContext
 from repro.devices.edgelet import Edgelet
 from repro.ml.distributed_kmeans import CentroidKnowledge, KMeansComputerState
 from repro.network.messages import MessageKind
+from repro.query.columnar import evaluate_group_by_columnar
 from repro.query.groupby import GroupByQuery, evaluate_group_by
 
 __all__ = ["ComputerRuntime"]
@@ -107,7 +108,14 @@ class ComputerRuntime:
             aggregates=tuple(ctx.query.aggregates[i] for i in indices),
         )
         with ctx.prof_aggregate:
-            partial = evaluate_group_by(sub_query, rows)
+            if ctx.engine == "columnar":
+                # vectorized fold over column blocks; the resulting
+                # PartialGroups is bit-identical to the row walk, so
+                # the sealed payload bytes (and the latency draws they
+                # feed) do not move
+                partial = evaluate_group_by_columnar(sub_query, rows)
+            else:
+                partial = evaluate_group_by(sub_query, rows)
         ctx.audit(device, computer.op_id, "partial", len(rows))
         latency = device.compute_latency(float(len(rows)))
         payload = {

@@ -104,6 +104,49 @@ class Relation:
         self.schema.column(name)
         return [row.get(name) for row in self._rows]
 
+    def join(self, other: "Relation", on: Sequence[str]) -> "Relation":
+        """Inner equi-join on the ``on`` columns (hash join).
+
+        Matching follows Python equality; rows with a ``None`` key
+        value never join (SQL NULL semantics).  Output order is this
+        relation's row order, matches in ``other``'s row order; the
+        joined schema is this relation's columns followed by the
+        other's non-key, non-duplicate columns.  The columnar engine's
+        :func:`repro.query.columnar.hash_join` is differential-tested
+        against this reference.
+        """
+        on = list(on)
+        if not on:
+            raise SchemaError("join requires at least one key column")
+        for name in on:
+            self.schema.column(name)
+            other.schema.column(name)
+        own_names = set(self.schema.column_names)
+        extra = [
+            column
+            for column in other.schema.columns
+            if column.name not in on and column.name not in own_names
+        ]
+        joined_schema = Schema(tuple(self.schema.columns) + tuple(extra))
+        extra_names = [column.name for column in extra]
+        table: dict[tuple, list[Row]] = {}
+        for row in other._rows:
+            key = tuple(row.get(name) for name in on)
+            if any(value is None for value in key):
+                continue
+            table.setdefault(key, []).append(row)
+        joined: list[Row] = []
+        for row in self._rows:
+            key = tuple(row.get(name) for name in on)
+            if any(value is None for value in key):
+                continue
+            for match in table.get(key, ()):
+                merged = dict(row)
+                for name in extra_names:
+                    merged[name] = match.get(name)
+                joined.append(merged)
+        return Relation(joined_schema, joined)
+
     # -- partitionings ---------------------------------------------------------
 
     def partition_by_hash(

@@ -327,6 +327,7 @@ class WorkloadEngine:
                 target_success=self.spec.target_success,
                 strategy=strategy,
             ),
+            engine=self.spec.engine,
         )
 
     def _launch(self, record: QueryRecord) -> None:

@@ -72,3 +72,66 @@ def planner() -> EdgeletPlanner:
         privacy=PrivacyParameters(max_raw_per_edgelet=40),
         resiliency=ResiliencyParameters(fault_rate=0.1, target_success=0.99),
     )
+
+
+@pytest.fixture(params=["row", "columnar"])
+def both_engines(request) -> str:
+    """Parametrizes a test over both operator engines.
+
+    Any test taking this fixture runs twice — once per engine — so
+    engine-conditional code paths get identical coverage.
+    """
+    return request.param
+
+
+@pytest.fixture
+def fingerprint_pair():
+    """Run one seeded scenario under both engines; return both
+    report fingerprints.
+
+    The scenario tag must be pinned explicitly: device identities (and
+    the keys, hash placements, and jitter streams derived from them)
+    are a function of ``(scenario_tag, seed)``, and the auto-numbered
+    tag would give the second run a *different* swarm.
+    """
+    from repro.manager.scenario import Scenario, ScenarioConfig
+    from repro.plan.compile import compile_query
+    from repro.telemetry import Telemetry
+    from repro.workload.fingerprint import report_fingerprint
+
+    def pair(
+        sql: str,
+        *,
+        seed: int = 3,
+        tag: str = "diffpair",
+        n_contributors: int = 20,
+        n_processors: int = 24,
+        n_rows: int = 80,
+        cardinality: int = 60,
+        secure_channels: bool = True,
+        **compile_kwargs,
+    ) -> tuple[str, str]:
+        def run(engine: str) -> str:
+            config = ScenarioConfig(
+                n_contributors=n_contributors,
+                n_processors=n_processors,
+                rows=generate_health_rows(n_rows, seed=seed),
+                schema=HEALTH_SCHEMA,
+                device_mix=(1.0, 0.0, 0.0),
+                seed=seed,
+                secure_channels=secure_channels,
+                scenario_tag=f"{tag}{seed}",
+            )
+            scenario = Scenario(config, telemetry=Telemetry())
+            compiled = compile_query(
+                sql,
+                query_id=f"{tag}-q",
+                snapshot_cardinality=cardinality,
+                engine=engine,
+                **compile_kwargs,
+            )
+            return report_fingerprint(scenario.run_compiled(compiled).report)
+
+        return run("row"), run("columnar")
+
+    return pair

@@ -1,0 +1,197 @@
+"""Hypothesis strategies for row-vs-columnar operator equivalence.
+
+The generated inputs deliberately cover the hazards a vectorized
+engine can get subtly wrong against a tuple-at-a-time reference:
+
+* nulls (missing keys and explicit ``None``) in every column;
+* mixed types within one column (ints, floats, bools, strings);
+* signed zeros and NaN (min/max tie-breaking, ``!=`` semantics);
+* integers beyond 2**53 (float64 comparison rounding);
+* adversarial float magnitudes (summation-order sensitivity);
+* empty relations and empty grouping sets.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.query.aggregates import SUPPORTED_FUNCTIONS, AggregateSpec
+from repro.query.expressions import (
+    AndExpr,
+    ColumnRef,
+    CompareExpr,
+    Expression,
+    InExpr,
+    Literal,
+    NotExpr,
+    OrExpr,
+)
+from repro.query.groupby import GroupByQuery
+
+__all__ = [
+    "COLUMNS",
+    "scalars",
+    "numeric_scalars",
+    "rows",
+    "predicates",
+    "equality_predicates",
+    "group_by_queries",
+]
+
+COLUMNS = ("a", "b", "c", "d")
+
+#: Scalar cell values, including every engine hazard class.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**60), max_value=2**60),
+    st.integers(min_value=-100, max_value=100),
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    st.sampled_from([0.0, -0.0, 1e300, -1e300, 1e-300]),
+    st.text(
+        alphabet=st.characters(codec="utf-8", categories=("L", "N", "P")),
+        max_size=8,
+    ),
+)
+
+#: Numeric-only cells (aggregate inputs); finite floats keep the
+#: finalized statistics comparable as JSON, magnitudes stay adversarial.
+numeric_scalars = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**60), max_value=2**60),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.sampled_from([0.0, -0.0, 1e15, -1e15, 1e-15, 0.1, 1e9]),
+)
+
+
+def rows(
+    cells: st.SearchStrategy = scalars,
+    min_size: int = 0,
+    max_size: int = 40,
+) -> st.SearchStrategy:
+    """Lists of row dicts over :data:`COLUMNS`; keys may be absent."""
+    row = st.dictionaries(
+        keys=st.sampled_from(COLUMNS), values=cells, max_size=len(COLUMNS)
+    )
+    return st.lists(row, min_size=min_size, max_size=max_size)
+
+
+def _column_refs() -> st.SearchStrategy:
+    return st.builds(ColumnRef, st.sampled_from(COLUMNS))
+
+
+def _comparisons() -> st.SearchStrategy:
+    """Comparisons that cannot raise on any generated row.
+
+    Ordered comparators (`<`, `<=`, `>`, `>=`) require mutually
+    comparable operands in *both* engines — Python raises TypeError on
+    e.g. ``bool < str`` — so ordered literals stay numeric and ordered
+    operands assume numeric row cells.  Equality never raises, so it
+    may meet arbitrary literals.
+    """
+    ordered = st.builds(
+        CompareExpr,
+        st.sampled_from(("<", "<=", ">", ">=")),
+        st.one_of(_column_refs(), st.builds(Literal, numeric_scalars)),
+        st.one_of(_column_refs(), st.builds(Literal, numeric_scalars)),
+    )
+    equality = st.builds(
+        CompareExpr,
+        st.sampled_from(("=", "!=")),
+        st.one_of(_column_refs(), st.builds(Literal, scalars)),
+        st.one_of(_column_refs(), st.builds(Literal, scalars)),
+    )
+    return st.one_of(ordered, equality)
+
+
+def _equality_comparisons() -> st.SearchStrategy:
+    return st.builds(
+        CompareExpr,
+        st.sampled_from(("=", "!=")),
+        st.one_of(_column_refs(), st.builds(Literal, scalars)),
+        st.one_of(_column_refs(), st.builds(Literal, scalars)),
+    )
+
+
+def _memberships() -> st.SearchStrategy:
+    return st.builds(
+        InExpr,
+        _column_refs(),
+        st.lists(scalars, max_size=4).map(tuple),
+    )
+
+
+def _recursive_booleans(
+    leaves: st.SearchStrategy, max_depth: int
+) -> st.SearchStrategy:
+    def extend(children: st.SearchStrategy) -> st.SearchStrategy:
+        branch = st.lists(children, min_size=1, max_size=3).map(tuple)
+        return st.one_of(
+            st.builds(AndExpr, branch),
+            st.builds(OrExpr, branch),
+            st.builds(NotExpr, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=2**max_depth)
+
+
+def predicates(max_depth: int = 3) -> st.SearchStrategy[Expression]:
+    """Recursive boolean expressions over :data:`COLUMNS`.
+
+    Safe against *numeric* row cells (``rows(cells=numeric_scalars)``);
+    ordered comparisons between two mixed-type columns can raise in
+    both engines, which is out of the typed-schema contract.
+    """
+    return _recursive_booleans(
+        st.one_of(_comparisons(), _memberships()), max_depth
+    )
+
+
+def equality_predicates(max_depth: int = 3) -> st.SearchStrategy[Expression]:
+    """Equality/membership-only predicates — total over any cell mix."""
+    return _recursive_booleans(
+        st.one_of(_equality_comparisons(), _memberships()), max_depth
+    )
+
+
+def _aggregate_specs() -> st.SearchStrategy:
+    def build(function: str, column: str | None) -> AggregateSpec:
+        if function == "hist":
+            return AggregateSpec(
+                "hist", column or COLUMNS[0], params=(-10.0, 10.0, 5)
+            )
+        if function == "count":
+            return AggregateSpec("count", column)
+        return AggregateSpec(function, column or COLUMNS[0])
+
+    return st.builds(
+        build,
+        st.sampled_from(SUPPORTED_FUNCTIONS),
+        st.one_of(st.none(), st.sampled_from(COLUMNS)),
+    )
+
+
+def group_by_queries(with_where: bool = False) -> st.SearchStrategy:
+    """Grouping-sets queries over :data:`COLUMNS` (aliases pinned by
+    position so duplicate functions stay distinguishable)."""
+    grouping_set = st.lists(
+        st.sampled_from(COLUMNS), unique=True, max_size=2
+    ).map(tuple)
+
+    def build(
+        sets: list[tuple[str, ...]],
+        specs: list[AggregateSpec],
+        where: Expression | None,
+    ) -> GroupByQuery:
+        aliased = tuple(
+            AggregateSpec(s.function, s.column, alias=f"agg_{i}", params=s.params)
+            for i, s in enumerate(specs)
+        )
+        return GroupByQuery(tuple(sets), aliased, where=where)
+
+    return st.builds(
+        build,
+        st.lists(grouping_set, min_size=1, max_size=3, unique=True),
+        st.lists(_aggregate_specs(), min_size=1, max_size=4),
+        predicates() if with_where else st.none(),
+    )

@@ -1,0 +1,151 @@
+"""Differential harness: the columnar engine must be *byte-identical*
+to the row engine on full executions.
+
+Equality is asserted on canonical fingerprints — SHA-256 over the
+canonical JSON of an :class:`ExecutionReport` (results, traces,
+relative times, tuple accounting) or of a standing-query window's
+lineage.  A fingerprint match therefore proves not just equal result
+rows but equal float bit patterns, equal envelope payload bytes, and
+equal latency draws end to end.
+
+Both runs of each pair pin the same ``scenario_tag``: device
+identities (keys, hash placements, jitter streams) are a function of
+``(scenario_tag, seed)``, and the auto-numbered tag would hand the
+second run a different swarm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.continuous import ContinuousEngine, StandingQuerySpec
+from repro.devices.churn import ChurnSpec
+from repro.telemetry import Telemetry
+from repro.workload import WorkloadEngine, WorkloadSpec
+
+#: Five seeded scenarios spanning the operator surface: plain
+#: aggregates, WHERE filters, every aggregate function, grouping
+#: sets, HAVING, and numeric edge columns.
+SCENARIOS = [
+    pytest.param(
+        "SELECT count(*), avg(age) FROM health "
+        "GROUP BY GROUPING SETS ((region), ())",
+        3,
+        id="baseline",
+    ),
+    pytest.param(
+        "SELECT count(*), sum(bmi), min(age), max(age) FROM health "
+        "WHERE age > 65 AND bmi < 30 GROUP BY GROUPING SETS ((region), ())",
+        7,
+        id="filtered",
+    ),
+    pytest.param(
+        "SELECT count(*), avg(age), min(bmi), max(bmi), var(glucose), "
+        "distinct(region), hist(age, 0, 100, 10) FROM health "
+        "WHERE age > 30 GROUP BY GROUPING SETS ((region), (smoker), ())",
+        11,
+        id="all-functions",
+    ),
+    pytest.param(
+        "SELECT count(*), std(systolic_bp) FROM health "
+        "WHERE region IN ('idf', 'bretagne') OR smoker = 1 "
+        "GROUP BY GROUPING SETS ((region, smoker), ())",
+        13,
+        id="composite-keys",
+    ),
+    pytest.param(
+        "SELECT count(*), avg(glucose) FROM health "
+        "GROUP BY GROUPING SETS ((region), ()) "
+        "HAVING count > 2",
+        17,
+        id="having",
+    ),
+]
+
+
+class TestScenarioDifferential:
+    """Fixed-seed single-query scenarios, row vs columnar."""
+
+    @pytest.mark.parametrize("sql, seed", SCENARIOS)
+    def test_report_fingerprints_are_byte_identical(
+        self, fingerprint_pair, sql, seed
+    ):
+        row_fp, columnar_fp = fingerprint_pair(sql, seed=seed, tag="dif")
+        assert row_fp == columnar_fp
+
+    @pytest.mark.parametrize("strategy", ["overcollection", "backup"])
+    def test_both_strategies_agree_across_engines(
+        self, fingerprint_pair, strategy
+    ):
+        from repro.core.planner import ResiliencyParameters
+
+        sql = (
+            "SELECT count(*), avg(age), distinct(region) FROM health "
+            "WHERE age > 50 GROUP BY GROUPING SETS ((region), ())"
+        )
+        row_fp, columnar_fp = fingerprint_pair(
+            sql,
+            seed=5,
+            tag=f"dif-{strategy}",
+            resiliency=ResiliencyParameters(fault_rate=0.1, strategy=strategy),
+        )
+        assert row_fp == columnar_fp
+
+
+class TestWorkloadDifferential:
+    """25 concurrent queries over one shared swarm, row vs columnar."""
+
+    def _fingerprints(self, engine: str) -> dict[str, str]:
+        spec = WorkloadSpec(
+            n_queries=25,
+            arrival_process="closed",
+            target_in_flight=25,
+            max_concurrent=25,
+            queue_capacity=0,
+            seed=21,
+            engine=engine,
+            sql=(
+                "SELECT count(*), avg(age), hist(bmi, 10, 40, 6) "
+                "FROM health GROUP BY GROUPING SETS ((region), ())"
+            ),
+        )
+        workload = WorkloadEngine(
+            spec, n_contributors=30, n_processors=210, telemetry=Telemetry()
+        )
+        fingerprints = workload.run().fingerprints()
+        assert len(fingerprints) == 25, "every arrival must complete"
+        return fingerprints
+
+    def test_per_query_fingerprints_are_byte_identical(self):
+        assert self._fingerprints("row") == self._fingerprints("columnar")
+
+
+class TestContinuousDifferential:
+    """A 20-window standing query under churn, row vs columnar."""
+
+    def _fingerprints(self, engine: str) -> dict[str, str]:
+        spec = StandingQuerySpec(
+            name="difsoak",
+            max_windows=20,
+            seed=9,
+            engine=engine,
+            snapshot_cardinality=96,
+        )
+        churn = ChurnSpec(
+            departure_probability=0.08,
+            data_change_probability=0.2,
+            seed=9,
+        )
+        run = ContinuousEngine(
+            spec,
+            churn=churn,
+            n_contributors=20,
+            n_processors=40,
+            telemetry=Telemetry(),
+        ).run()
+        fingerprints = run.fingerprints()
+        assert len(fingerprints) >= 18, "churn soak must complete windows"
+        return fingerprints
+
+    def test_window_lineage_fingerprints_are_byte_identical(self):
+        assert self._fingerprints("row") == self._fingerprints("columnar")

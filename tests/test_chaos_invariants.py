@@ -221,3 +221,105 @@ class TestOnRealRuns:
         )
         record = RunRecord(result=outcome.result, reference=outcome.reference)
         assert check_combiner_dedup(record) is None
+
+
+class TestColumnarEngineLegs:
+    """The chaos surface re-run under the columnar operator engine.
+
+    Resilience machinery (dedup, takeover, corruption drops, churn)
+    must behave identically whichever engine folds the tuples — the
+    engine changes *how* partials are computed, never *what* ships.
+    """
+
+    def test_benign_runs_hold_every_invariant(self, both_engines):
+        from repro.chaos.campaign import RunSpec, run_single
+
+        for strategy in ("overcollection", "backup"):
+            outcome = run_single(
+                RunSpec(
+                    seed=3,
+                    tag=f"inv-{strategy}",
+                    strategy=strategy,
+                    engine=both_engines,
+                )
+            )
+            assert outcome.result.report.success
+            assert outcome.violations == []
+
+    def test_columnar_run_matches_row_run_bit_for_bit(self):
+        from repro.chaos.campaign import RunSpec, run_single
+        from repro.workload.fingerprint import report_fingerprint
+
+        row = run_single(RunSpec(seed=6, tag="inv-eng"))
+        columnar = run_single(
+            RunSpec(seed=6, tag="inv-eng", engine="columnar")
+        )
+        assert report_fingerprint(columnar.result.report) == (
+            report_fingerprint(row.result.report)
+        )
+
+    def test_seeded_campaign_under_columnar(self):
+        from repro.chaos.campaign import CampaignConfig, run_campaign
+        from repro.telemetry import Telemetry
+
+        config = CampaignConfig(
+            seed=19,
+            runs=4,
+            strategies=("overcollection", "backup"),
+            crash_probabilities=(0.0, 0.002),
+            engine="columnar",
+        )
+        result = run_campaign(config, telemetry=Telemetry())
+        assert len(result.outcomes) == 4
+        assert all(o.spec.engine == "columnar" for o in result.outcomes)
+        assert result.ok
+
+    def test_eight_window_churn_soak_under_columnar(self):
+        from repro.chaos.continuous import ContinuousChaosConfig, run_soak
+        from repro.continuous import StandingQuerySpec
+        from repro.devices.churn import ChurnSpec
+        from repro.telemetry import Telemetry
+
+        spec = StandingQuerySpec(
+            name="colsoak",
+            max_windows=8,
+            seed=23,
+            engine="columnar",
+            snapshot_cardinality=96,
+        )
+        config = ContinuousChaosConfig(
+            churn=ChurnSpec(
+                departure_probability=0.1,
+                data_change_probability=0.25,
+                seed=23,
+            ),
+        )
+        outcome = run_soak(spec, config, telemetry=Telemetry())
+        assert len(outcome.windows) == 8
+        assert outcome.violations == []
+
+    def test_corruption_drop_telemetry_still_fires(self):
+        """Tampered sealed envelopes are rejected and *counted* when the
+        columnar engine materializes the partition rows."""
+        from repro.chaos.campaign import RunSpec, run_single
+        from repro.network.faults import FaultSpec
+
+        outcome = run_single(
+            RunSpec(
+                seed=8,
+                tag="inv-corrupt",
+                secure_channels=True,
+                engine="columnar",
+                fault_specs=(
+                    FaultSpec(kinds=("partition",), corrupt_probability=1.0),
+                ),
+            )
+        )
+        executor = outcome.result.executor
+        dropped = executor.telemetry.metrics.value(
+            "executor.payloads_dropped",
+            query="inv-corrupt-q",
+            reason="unauthenticated",
+        )
+        assert dropped > 0
+        assert not outcome.result.report.success

@@ -1,0 +1,331 @@
+"""Operator-level equivalence of the columnar engine vs the row engine.
+
+Hypothesis drives both engines with adversarial inputs — nulls, mixed
+types, signed zeros, NaN, integers past 2**53, huge float magnitudes,
+empty batches — and asserts *serialized* equality: the JSON encoding
+of a partial state is what rides a sealed envelope, so two states are
+interchangeable only if their JSON bytes match (float bit patterns
+included).
+
+The merge-algebra block mirrors ``test_property_aggregates.py``: the
+columnar merge must behave like the same commutative monoid element as
+the row merge, because combiners receive partials in arbitrary order.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.query.aggregates import AggregateSpec
+from repro.query.columnar import (
+    ColumnBatch,
+    evaluate_group_by_columnar,
+    hash_join,
+    merge_partials_columnar,
+    predicate_mask,
+    scan_filter_project,
+)
+from repro.query.groupby import (
+    GroupByQuery,
+    PartialGroups,
+    evaluate_group_by,
+    finalize_partials,
+    merge_partials,
+)
+from repro.query.relation import Relation
+from repro.query.schema import Column, ColumnType, Schema
+
+from tests.differential.strategies import (
+    COLUMNS,
+    equality_predicates,
+    group_by_queries,
+    numeric_scalars,
+    predicates,
+    rows,
+)
+
+PROPERTY_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _dumps(partial: PartialGroups) -> str:
+    """The envelope serialization — byte equality is the contract."""
+    return json.dumps(partial.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+class TestPredicateEquivalence:
+    @PROPERTY_SETTINGS
+    @given(data=rows(cells=numeric_scalars), expr=predicates())
+    def test_mask_matches_row_evaluate(self, data, expr):
+        batch = ColumnBatch.from_rows(data, sorted(set(COLUMNS) | expr.columns()))
+        mask = predicate_mask(expr, batch)
+        assert mask.tolist() == [bool(expr.evaluate(row)) for row in data]
+
+    @PROPERTY_SETTINGS
+    @given(data=rows(), expr=equality_predicates())
+    def test_mask_matches_on_mixed_types(self, data, expr):
+        batch = ColumnBatch.from_rows(data, sorted(set(COLUMNS) | expr.columns()))
+        mask = predicate_mask(expr, batch)
+        assert mask.tolist() == [bool(expr.evaluate(row)) for row in data]
+
+    @PROPERTY_SETTINGS
+    @given(data=rows(), expr=equality_predicates())
+    def test_scan_filter_project_matches_row_select(self, data, expr):
+        columns = list(COLUMNS[:2])
+        vectorized = scan_filter_project(data, expr, columns)
+        reference = [
+            {name: row.get(name) for name in columns}
+            for row in data
+            if expr.evaluate(row)
+        ]
+        assert vectorized == reference
+        for got, want in zip(vectorized, reference):
+            for name in columns:
+                assert type(got[name]) is type(want[name])
+
+
+class TestGroupByEquivalence:
+    @PROPERTY_SETTINGS
+    @given(data=rows(cells=numeric_scalars), query=group_by_queries())
+    def test_partial_states_serialize_identically(self, data, query):
+        row_partial = evaluate_group_by(query, data)
+        columnar_partial = evaluate_group_by_columnar(query, data)
+        assert _dumps(columnar_partial) == _dumps(row_partial)
+
+    @PROPERTY_SETTINGS
+    @given(
+        data=rows(cells=numeric_scalars), query=group_by_queries(with_where=True)
+    )
+    def test_where_clause_agrees(self, data, query):
+        assert _dumps(evaluate_group_by_columnar(query, data)) == _dumps(
+            evaluate_group_by(query, data)
+        )
+
+    @PROPERTY_SETTINGS
+    @given(data=rows(min_size=0, max_size=0), query=group_by_queries())
+    def test_empty_batch_edge(self, data, query):
+        assert _dumps(evaluate_group_by_columnar(query, data)) == _dumps(
+            evaluate_group_by(query, data)
+        )
+
+    @PROPERTY_SETTINGS
+    @given(data=rows())
+    def test_distinct_over_arbitrary_values(self, data):
+        query = GroupByQuery.single(
+            ["a"],
+            [AggregateSpec("count"), AggregateSpec("distinct", "b", alias="d")],
+        )
+        assert _dumps(evaluate_group_by_columnar(query, data)) == _dumps(
+            evaluate_group_by(query, data)
+        )
+
+    def test_signed_zero_and_nan_min_max(self):
+        """±0.0 ties keep the first-seen zero; NaN sticks only when it
+        arrives first — first-wins fold semantics, not IEEE min/max."""
+        nan = float("nan")
+        cases = [
+            [0.0, -0.0],
+            [-0.0, 0.0],
+            [1.0, nan, 2.0],
+            [nan, 1.0],
+            [-0.0, nan, 0.0],
+        ]
+        query = GroupByQuery.single(
+            [], [AggregateSpec("min", "x"), AggregateSpec("max", "x")]
+        )
+        for values in cases:
+            data = [{"x": v} for v in values]
+            assert _dumps(evaluate_group_by_columnar(query, data)) == _dumps(
+                evaluate_group_by(query, data)
+            ), f"min/max diverge on {values!r}"
+
+
+class TestSummationOrder:
+    """Satellite: the row engine's left-to-right fold is the pinned
+    reduction order.  ``np.sum`` is pairwise and would diverge at
+    adversarial magnitudes; the columnar fold must not."""
+
+    def test_adversarial_magnitudes_keep_row_order_bits(self):
+        rng = random.Random(17)
+        values = []
+        for _ in range(400):
+            values.append(rng.choice([1e16, 1.0, -1e16, 1e-8, 0.1, -1.0]))
+        sequential = 0.0
+        for value in values:
+            sequential += value
+        query = GroupByQuery.single([], [AggregateSpec("sum", "x")])
+        data = [{"x": v} for v in values]
+        row_state = evaluate_group_by(query, data).groups[0]["[]"][0]
+        col_state = evaluate_group_by_columnar(query, data).groups[0]["[]"][0]
+        # all three folds agree bit for bit — and differ from pairwise
+        assert row_state.total == sequential
+        assert math.copysign(1.0, col_state.total) == math.copysign(
+            1.0, sequential
+        )
+        assert col_state.total == sequential
+        assert _dumps(evaluate_group_by_columnar(query, data)) == _dumps(
+            evaluate_group_by(query, data)
+        )
+
+
+class TestMergeAlgebra:
+    """Columnar merges mirror the row monoid (cf.
+    ``test_property_aggregates.py``)."""
+
+    QUERY = GroupByQuery(
+        (("a",), ()),
+        (
+            AggregateSpec("count"),
+            AggregateSpec("sum", "b", alias="s"),
+            AggregateSpec("min", "b", alias="lo"),
+            AggregateSpec("max", "b", alias="hi"),
+            AggregateSpec("var", "b", alias="v"),
+            AggregateSpec("distinct", "c", alias="d"),
+            AggregateSpec("hist", "b", alias="h", params=(-50.0, 50.0, 4)),
+        ),
+    )
+
+    def _partials(self, seed: int, engine_eval) -> list[PartialGroups]:
+        rng = random.Random(seed)
+        partials = []
+        for _ in range(rng.randint(1, 5)):
+            data = [
+                {
+                    "a": rng.choice(("x", "y", None)),
+                    "b": None if rng.random() < 0.15 else rng.uniform(-80, 80),
+                    "c": rng.choice("pqrst"),
+                }
+                for _ in range(rng.randint(0, 30))
+            ]
+            partials.append(engine_eval(self.QUERY, data))
+        return partials
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_columnar_merge_matches_row_merge(self, seed):
+        row_merge = merge_partials(
+            self.QUERY, self._partials(seed, evaluate_group_by)
+        )
+        columnar_merge = merge_partials_columnar(
+            self.QUERY, self._partials(seed, evaluate_group_by_columnar)
+        )
+        assert _dumps(columnar_merge) == _dumps(row_merge)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_merge_order_insensitive_after_finalize(self, seed):
+        """Shuffle invariance holds exactly for counts/min/max/distinct
+        /hist and to round-off for float sums — the same contract the
+        row monoid gives (cf. test_merge_partials_shuffle_invariant).
+        The byte-identity contract is engine-vs-engine at equal order,
+        not order-vs-order."""
+        partials = self._partials(seed, evaluate_group_by_columnar)
+        shuffled = list(partials)
+        random.Random(seed + 1).shuffle(shuffled)
+        forward = finalize_partials(
+            self.QUERY, merge_partials_columnar(self.QUERY, partials)
+        )
+        backward = finalize_partials(
+            self.QUERY, merge_partials_columnar(self.QUERY, shuffled)
+        )
+        # row-engine merges of the same two orders bracket the same drift
+        row_backward = finalize_partials(
+            self.QUERY,
+            merge_partials(
+                self.QUERY,
+                [
+                    PartialGroups.from_dict(p.to_dict())
+                    for p in shuffled
+                ],
+            ),
+        )
+        assert backward == row_backward
+        for fwd_rows, bwd_rows in zip(
+            forward.per_set_rows, backward.per_set_rows
+        ):
+            keyed = {
+                row.get("a"): row for row in bwd_rows
+            }
+            for row in fwd_rows:
+                other = keyed[row.get("a")]
+                for name, value in row.items():
+                    if isinstance(value, float):
+                        assert value == pytest.approx(
+                            other[name], rel=1e-9, abs=1e-9
+                        )
+                    else:
+                        assert value == other[name]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cross_engine_partials_merge_identically(self, seed):
+        """A combiner may merge partials produced by either engine
+        (mixed fleets mid-rollout): row-produced states fed to the
+        columnar merge must land on the same bytes."""
+        row_parts = self._partials(seed, evaluate_group_by)
+        assert _dumps(
+            merge_partials_columnar(self.QUERY, row_parts)
+        ) == _dumps(merge_partials(self.QUERY, row_parts))
+
+
+class TestHashJoin:
+    SCHEMA_L = Schema.of(
+        Column("k", ColumnType.INT),
+        Column("a", ColumnType.FLOAT),
+    )
+    SCHEMA_R = Schema.of(
+        Column("k", ColumnType.INT),
+        Column("b", ColumnType.TEXT),
+    )
+
+    def _relations(self, seed: int) -> tuple[Relation, Relation]:
+        rng = random.Random(seed)
+        left = [
+            {
+                "k": None if rng.random() < 0.2 else rng.randint(0, 6),
+                "a": rng.uniform(-5, 5),
+            }
+            for _ in range(rng.randint(0, 25))
+        ]
+        right = [
+            {
+                "k": None if rng.random() < 0.2 else rng.randint(0, 6),
+                "b": rng.choice("uvw"),
+            }
+            for _ in range(rng.randint(0, 25))
+        ]
+        return Relation(self.SCHEMA_L, left), Relation(self.SCHEMA_R, right)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_relation_join(self, seed):
+        left, right = self._relations(seed)
+        reference = left.join(right, on=["k"]).rows
+        vectorized = hash_join(
+            ColumnBatch.from_relation(left),
+            ColumnBatch.from_relation(right),
+            on=["k"],
+        ).to_rows()
+        # Relation.join conforms rows to schema order; compare values
+        assert [
+            {name: row.get(name) for name in ("k", "a", "b")}
+            for row in vectorized
+        ] == [
+            {name: row.get(name) for name in ("k", "a", "b")}
+            for row in reference
+        ]
+
+    def test_none_keys_never_join(self):
+        left = Relation(self.SCHEMA_L, [{"k": None, "a": 1.0}])
+        right = Relation(self.SCHEMA_R, [{"k": None, "b": "u"}])
+        assert len(left.join(right, on=["k"])) == 0
+        joined = hash_join(
+            ColumnBatch.from_relation(left),
+            ColumnBatch.from_relation(right),
+            on=["k"],
+        )
+        assert joined.length == 0

@@ -27,12 +27,15 @@ SQL = (
 )
 
 
-def hand_spec(query_id: str = "par-q", cardinality: int = 60) -> QuerySpec:
+def hand_spec(
+    query_id: str = "par-q", cardinality: int = 60, engine: str = "row"
+) -> QuerySpec:
     return QuerySpec(
         query_id=query_id,
         kind="aggregate",
         snapshot_cardinality=cardinality,
         group_by=parse_query(SQL).query,
+        engine=engine,
     )
 
 
@@ -157,21 +160,26 @@ class TestExecutionFingerprintParity:
         return Scenario(config, telemetry=Telemetry())
 
     @pytest.mark.parametrize("strategy", ["overcollection", "backup"])
-    def test_sql_compile_matches_hand_assembly(self, strategy):
+    def test_sql_compile_matches_hand_assembly(self, strategy, both_engines):
         privacy = PrivacyParameters(max_raw_per_edgelet=20)
         resiliency = ResiliencyParameters(fault_rate=0.1, strategy=strategy)
 
         legacy = self._scenario(strategy).run_query(
-            hand_spec(), privacy=privacy, resiliency=resiliency
+            hand_spec(engine=both_engines),
+            privacy=privacy, resiliency=resiliency,
         )
         compiled = compile_query(
             SQL, query_id="par-q", snapshot_cardinality=60,
-            privacy=privacy, resiliency=resiliency,
+            privacy=privacy, resiliency=resiliency, engine=both_engines,
         )
         piped = self._scenario(strategy).run_compiled(compiled)
         assert report_fingerprint(piped.report) == report_fingerprint(
             legacy.report
         )
+
+    def test_engines_agree_on_the_parity_scenario(self, fingerprint_pair):
+        row_fp, columnar_fp = fingerprint_pair(SQL, tag="par-x")
+        assert row_fp == columnar_fp
 
     def test_kmeans_compile_matches_hand_assembly(self):
         privacy = PrivacyParameters(max_raw_per_edgelet=20)
@@ -204,6 +212,13 @@ class TestChaosCostMode:
         legacy = dict(RunSpec(seed=1, tag="t").to_dict())
         legacy.pop("optimizer")
         assert RunSpec.from_dict(legacy).optimizer == "pinned"
+
+    def test_run_spec_round_trips_the_engine_field(self):
+        spec = RunSpec(seed=1, tag="t", engine="columnar")
+        assert RunSpec.from_dict(spec.to_dict()).engine == "columnar"
+        legacy = dict(RunSpec(seed=1, tag="t").to_dict())
+        legacy.pop("engine")  # pre-engine artifacts default to row
+        assert RunSpec.from_dict(legacy).engine == "row"
 
     def test_cost_mode_passes_the_invariant_suite(self):
         spec = RunSpec(

@@ -61,13 +61,28 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
     # the manager orchestrates one query at a time; the workload
     # engine multiplexes *on top of* it and chaos probes both from
     # above, so neither may leak back down into the manager
-    "repro.manager": ("repro.workload", "repro.chaos", "repro.continuous"),
+    "repro.manager": (
+        "repro.workload", "repro.chaos", "repro.continuous",
+        "repro.query.columnar",
+    ),
     # chaos.workload/chaos.continuous import the engines, never the reverse
-    "repro.workload": ("repro.chaos", "repro.continuous"),
+    "repro.workload": (
+        "repro.chaos", "repro.continuous", "repro.query.columnar",
+    ),
     # continuous layers on workload (admission, fingerprints) but the
     # verification muscle stays above it: chaos imports continuous only
-    "repro.continuous": ("repro.chaos",),
+    "repro.continuous": ("repro.chaos", "repro.query.columnar"),
+    # the columnar engine is an execution detail selected through the
+    # QuerySpec.engine knob; orchestration layers thread the knob and
+    # must never call vectorized operators directly
+    "repro.chaos": ("repro.query.columnar",),
 }
+
+#: Within the query layer, numpy stays confined to the columnar module:
+#: the row engine is the pure-Python reference the differential harness
+#: trusts, so no other query module may grow a numpy dependency.
+NUMPY_ALLOWED_PREFIX = "repro.query.columnar"
+NUMPY_CONFINED_PREFIX = "repro.query"
 
 
 def module_name(path: Path, root: Path) -> str:
@@ -92,6 +107,17 @@ def imported_modules(tree: ast.AST, module: str) -> list[str]:
     return found
 
 
+def _numpy_confined(module: str) -> bool:
+    """Whether this module is banned from importing numpy."""
+    in_query = module == NUMPY_CONFINED_PREFIX or module.startswith(
+        NUMPY_CONFINED_PREFIX + "."
+    )
+    is_columnar = module == NUMPY_ALLOWED_PREFIX or module.startswith(
+        NUMPY_ALLOWED_PREFIX + "."
+    )
+    return in_query and not is_columnar
+
+
 def check(root: Path) -> list[str]:
     violations: list[str] = []
     for path in sorted(root.rglob("*.py")):
@@ -102,13 +128,21 @@ def check(root: Path) -> list[str]:
             if module == prefix or module.startswith(prefix + ".")
             for banned in targets
         )
-        if not bans:
+        numpy_banned = _numpy_confined(module)
+        if not bans and not numpy_banned:
             continue
         tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
         for imported in imported_modules(tree, module):
             for banned in bans:
                 if imported == banned or imported.startswith(banned + "."):
                     violations.append(f"{module} -> {imported}  ({path})")
+            if numpy_banned and (
+                imported == "numpy" or imported.startswith("numpy.")
+            ):
+                violations.append(
+                    f"{module} -> {imported}  ({path})  "
+                    "[numpy is confined to repro.query.columnar]"
+                )
     return violations
 
 
@@ -130,7 +164,9 @@ def main() -> int:
         "layering ok: substrate never imports plan/manager/chaos/workload/"
         "continuous, plan never imports the engines above it, manager "
         "never imports workload/chaos/continuous, continuous never "
-        "imports chaos"
+        "imports chaos, orchestration never imports the columnar engine, "
+        "and numpy stays confined to repro.query.columnar within the "
+        "query layer"
     )
     return 0
 
